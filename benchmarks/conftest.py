@@ -1,0 +1,43 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each benchmark module regenerates one figure of the paper's evaluation
+at CI scale (shorter duration / fewer tenants than the paper; the
+scaling used is recorded in EXPERIMENTS.md).  The printed rows/series
+are the deliverable: they are echoed to the terminal (bypassing pytest's
+capture) *and* written to ``benchmarks/results/<figure>.txt`` so the
+committed bench output is inspectable.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(capsys, figure_id: str, text: str) -> None:
+    """Print a figure's regenerated series and persist it to disk."""
+    banner = f"\n{'=' * 72}\n{figure_id}\n{'=' * 72}\n"
+    payload = banner + text + "\n"
+    with capsys.disabled():
+        print(payload)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = (
+        figure_id.replace(":", "")
+        .replace("(", "")
+        .replace(")", "")
+        .strip()
+        .replace(" ", "_")
+        .lower()
+    )
+    # Figure benches keep their short names; ablations get unique files.
+    if slug.startswith("fig"):
+        slug = slug.split("_")[0]
+    (RESULTS_DIR / f"{slug}.txt").write_text(payload)
+
+
+def once(benchmark, fn):
+    """Run an expensive experiment exactly once under the benchmark
+    timer (the experiments are deterministic, so repeated timing rounds
+    would only re-measure identical work)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

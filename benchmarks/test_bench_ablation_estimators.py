@@ -1,0 +1,90 @@
+"""Ablation: estimator x scheduler cross (paper §7, "Estimators").
+
+"We experimented with numerous combinations of scheduler and estimator,
+and found that WFQ and WF2Q with pessimistic estimation performed no
+better, and often significantly worse, than using an EMA."  Pessimism
+only pays off when the scheduler can *spatially* separate the tenants
+it marks expensive -- which only 2DFQ can.
+
+Metric: p99 latency of a predictable small tenant under each
+(scheduler, estimator) pair on the bimodal-unpredictable workload.
+"""
+
+from repro.core.registry import SCHEDULER_CLASSES
+from repro.estimation import EMAEstimator, PessimisticEstimator
+from repro.experiments.report import format_table
+from repro.metrics import MetricsCollector
+from repro.simulator import BackloggedSource, Simulation, ThreadPoolServer
+from repro.simulator.rng import make_rng
+
+from conftest import emit, once
+
+NUM_THREADS = 8
+RATE = 1000.0
+DURATION = 30.0
+
+SCHEDULERS = ("wfq", "wf2q", "2dfq")
+ESTIMATORS = {
+    "ema": lambda: EMAEstimator(alpha=0.99, initial_estimate=2.0),
+    "pessimistic": lambda: PessimisticEstimator(alpha=0.99, initial_estimate=2.0),
+}
+
+
+def _run(scheduler_name: str, estimator_name: str) -> float:
+    sim = Simulation()
+    scheduler = SCHEDULER_CLASSES[scheduler_name](
+        num_threads=NUM_THREADS,
+        thread_rate=RATE,
+        estimator=ESTIMATORS[estimator_name](),
+    )
+    server = ThreadPoolServer(
+        sim, scheduler, num_threads=NUM_THREADS, rate=RATE,
+        refresh_interval=0.01,
+    )
+    collector = MetricsCollector(
+        server, sample_interval=0.1, warmup=5.0, record_dispatches=False
+    )
+    BackloggedSource(server, "steady", lambda: ("call", 1.0), window=4).start()
+    for index in range(6):
+        rng = make_rng(31, "estimator-ablation", str(index))
+
+        def sample(rng=rng):
+            if rng.random() < 0.05:
+                return ("call", float(rng.normal(2000.0, 200.0)))
+            return ("call", float(max(0.1, rng.normal(2.0, 0.4))))
+
+        BackloggedSource(server, f"wild-{index}", sample, window=4).start()
+    sim.run(until=DURATION)
+    return collector.result().latency_p99("steady")
+
+
+def test_ablation_estimator_scheduler_cross(benchmark, capsys):
+    def run():
+        return {
+            (s, e): _run(s, e) for s in SCHEDULERS for e in ESTIMATORS
+        }
+
+    p99 = once(benchmark, run)
+    rows = []
+    for scheduler in SCHEDULERS:
+        rows.append(
+            (scheduler, p99[(scheduler, "ema")], p99[(scheduler, "pessimistic")])
+        )
+    text = "p99 latency [s] of the predictable tenant:\n"
+    text += format_table(["scheduler", "EMA", "pessimistic"], rows)
+    text += (
+        "\n\nOn this small controlled workload pessimism helps every"
+        "\nscheduler (over-charging the bimodal tenants delays them under"
+        "\nany policy); the paper reports that on full production"
+        "\nworkloads WFQ/WF2Q with pessimistic estimation were often"
+        "\nsignificantly worse than with an EMA -- only 2DFQ can also act"
+        "\non pessimism *spatially*, which is why 2DFQ^E pairs them."
+    )
+    # 2DFQ + pessimistic is the best cell overall (the 2DFQ^E design).
+    best = min(p99.values())
+    assert p99[("2dfq", "pessimistic")] <= best * 1.25
+    # Pessimism buys 2DFQ more than it buys WFQ (relative improvement).
+    gain_2dfq = p99[("2dfq", "ema")] / p99[("2dfq", "pessimistic")]
+    gain_wfq = p99[("wfq", "ema")] / p99[("wfq", "pessimistic")]
+    assert gain_2dfq >= gain_wfq * 0.9
+    emit(capsys, "ablation: estimator x scheduler cross", text)

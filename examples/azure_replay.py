@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Generate, persist, and replay an Azure-Storage-like workload trace.
+
+Demonstrates the full workload pipeline of the reproduction:
+
+1. build the named reference tenants T1..T12 and a random population;
+2. materialize an offline trace and save it to CSV;
+3. reload the trace and replay the byte-identical arrivals against
+   WFQ, WF2Q, and 2DFQ;
+4. report per-tenant service smoothness and the Gini fairness index.
+
+Run:  python examples/azure_replay.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.experiments import ExperimentConfig, run_comparison
+from repro.experiments.report import format_table
+from repro.workloads import (
+    load_trace,
+    named_tenants,
+    random_tenants,
+    save_trace,
+    trace_statistics,
+)
+from repro.workloads.trace import generate_trace
+
+DURATION = 8.0
+NUM_THREADS = 16
+THREAD_RATE = 1.0e6
+
+
+def main() -> None:
+    specs = named_tenants() + random_tenants(40, seed=1)
+
+    # 1-2: materialize and persist the trace.
+    trace = generate_trace(specs, duration=DURATION, seed=1)
+    stats = trace_statistics(trace)
+    print("Generated trace:")
+    for key in ("requests", "tenants", "apis", "cost_p50", "cost_p99", "cost_max"):
+        print(f"  {key:>10}: {stats[key]:,.6g}")
+
+    path = Path(tempfile.gettempdir()) / "azure_like_trace.csv.gz"
+    save_trace(trace, path)
+    print(f"\nSaved to {path} ({path.stat().st_size:,} bytes); reloading...")
+    trace = load_trace(path)
+
+    # 3: replay against each scheduler.
+    config = ExperimentConfig(
+        name="azure-replay",
+        schedulers=("wfq", "wf2q", "2dfq"),
+        num_threads=NUM_THREADS,
+        thread_rate=THREAD_RATE,
+        duration=DURATION,
+        refresh_interval=None,  # known costs
+        seed=1,
+    )
+    result = run_comparison(specs, config, trace=trace)
+
+    # 4: report.
+    fair_rate = result.fair_rate()
+    rows = []
+    for name, run in result.runs.items():
+        t1 = run.service_series("T1")
+        t11 = run.service_series("T11")
+        rows.append(
+            (
+                name,
+                t1.lag_sigma(fair_rate),
+                t11.lag_sigma(fair_rate),
+                float(run.gini_values.mean()),
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["scheduler", "sigma(lag) T1 (s)", "sigma(lag) T11 (s)", "mean Gini"],
+            rows,
+        )
+    )
+    print(
+        "\nT1 (small, predictable) is served far more smoothly under 2DFQ;"
+        "\nT11 (large requests) necessarily receives chunky service under"
+        "\nevery non-preemptive scheduler."
+    )
+
+
+if __name__ == "__main__":
+    main()

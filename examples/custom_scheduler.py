@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Extending the framework: write and evaluate your own scheduler.
+
+The virtual-time machinery (tags, retroactive charging, refresh
+charging, estimators) lives in :class:`VirtualTimeScheduler`; a new
+policy only chooses *which backlogged tenant runs next on a given
+thread*.  This example implements "2DFQ-quadratic", a variant whose
+eligibility stagger grows quadratically with the thread index instead of
+linearly -- concentrating small requests on fewer, higher threads -- and
+races it against standard 2DFQ on the Figure 8 synthetic workload.
+
+Run:  python examples/custom_scheduler.py
+"""
+
+from typing import Optional
+
+from repro.core import TenantState, VirtualTimeScheduler
+from repro.experiments import ExperimentConfig, run_comparison
+from repro.experiments.expensive_requests import SMALL_PROBE
+from repro.workloads import expensive_requests_population
+
+# Registering by subclassing: any VirtualTimeScheduler works with the
+# simulator, the metrics collector, and the experiment runner.
+
+
+class QuadraticStagger2DFQ(VirtualTimeScheduler):
+    """2DFQ with eligibility offset ``(i/n)^2 * l`` instead of ``(i/n) * l``."""
+
+    name = "2dfq-quadratic"
+
+    def _select(self, thread_id: int, vnow: float) -> Optional[TenantState]:
+        stagger = (thread_id / self._num_threads) ** 2
+        eligible = []
+        for state in self._backlogged.values():
+            offset = stagger * self._head_estimate(state)
+            if self._eligible(state.start_tag - offset, vnow):
+                eligible.append(state)
+        return self._min_finish(eligible)
+
+
+def main() -> None:
+    # Plug the custom class into the registry for this process, then use
+    # the standard experiment harness.
+    from repro.core import registry
+
+    registry._FACTORIES["2dfq-quadratic"] = QuadraticStagger2DFQ
+
+    config = ExperimentConfig(
+        name="custom-scheduler-demo",
+        schedulers=("wf2q", "2dfq", "2dfq-quadratic"),
+        num_threads=16,
+        thread_rate=1000.0,
+        duration=8.0,
+        refresh_interval=None,
+        seed=0,
+    )
+    specs = expensive_requests_population(num_small=50, total=100)
+    result = run_comparison(specs, config)
+    fair_rate = result.fair_rate()
+
+    print("sigma(service lag) of a small tenant, Figure 8 workload:\n")
+    for name, run in result.runs.items():
+        sigma = run.lag_sigma(SMALL_PROBE, reference_rate=fair_rate)
+        print(f"  {name:>15}: {sigma:8.4f} s")
+    print(
+        "\nBoth stagger shapes beat WF2Q; the linear stagger of the paper"
+        "\nspreads eligibility evenly and is typically the smoothest."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: schedule tenants with very different request costs.
+
+Builds a 4-thread simulated server shared by four tenants with small
+requests and four with 100x larger requests (all continuously busy),
+runs it under WFQ, WF2Q and 2DFQ, and prints how smoothly each class
+was served.  This is the paper's Figure 1 situation at example scale.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Simulation, ThreadPoolServer, make_scheduler
+from repro.metrics import MetricsCollector
+from repro.simulator import BackloggedSource
+
+NUM_THREADS = 4
+THREAD_RATE = 100.0
+NUM_SMALL = 4
+NUM_LARGE = 4
+DURATION = 60.0
+
+
+def run(scheduler_name: str) -> None:
+    sim = Simulation()
+    scheduler = make_scheduler(
+        scheduler_name, num_threads=NUM_THREADS, thread_rate=THREAD_RATE
+    )
+    server = ThreadPoolServer(
+        sim, scheduler, num_threads=NUM_THREADS, rate=THREAD_RATE,
+        refresh_interval=0.01,
+    )
+    collector = MetricsCollector(server, sample_interval=0.1)
+
+    # Four "web" tenants send 1-unit requests; four "analytics" tenants
+    # send 100-unit scans.  All stay continuously busy.
+    for index in range(NUM_SMALL):
+        BackloggedSource(
+            server, f"web-{index}", lambda: ("get", 1.0), window=4
+        ).start()
+    for index in range(NUM_LARGE):
+        BackloggedSource(
+            server, f"analytics-{index}", lambda: ("scan", 100.0), window=4
+        ).start()
+
+    sim.run(until=DURATION)
+    result = collector.result()
+
+    fair_rate = NUM_THREADS * THREAD_RATE / (NUM_SMALL + NUM_LARGE)
+    web = result.service_series("web-0")
+    web_stats = result.latency_stats("web-0")
+    scan = result.service_series("analytics-0")
+    print(
+        f"{scheduler_name:>5}:  web-0 sigma(lag) = {web.lag_sigma(fair_rate):7.4f} s,"
+        f"  p99 latency = {web_stats.p99 * 1000:8.1f} ms,"
+        f"  analytics-0 served {scan.actual[-1]:7.0f} units"
+    )
+
+
+def main() -> None:
+    print(
+        f"{NUM_SMALL} small-request tenants vs {NUM_LARGE} 100x-scan tenants "
+        f"on {NUM_THREADS} threads.\n"
+        "All three schedulers give every tenant the same long-run share;\n"
+        "2DFQ also serves the small tenants *smoothly* by confining scans\n"
+        "to the low-index threads.\n"
+    )
+    for name in ("wfq", "wf2q", "2dfq"):
+        run(name)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Scheduling with unknown costs: pessimistic vs moving-average estimation.
+
+Reproduces the core §5 scenario in miniature: a predictable tenant with
+small requests shares the server with unpredictable tenants whose costs
+swing across three orders of magnitude.  No scheduler knows costs ahead
+of time; WFQ^E / WF2Q^E estimate with per-tenant-per-API EMAs, 2DFQ^E
+with the pessimistic decayed maximum.  The pessimistic estimator treats
+the unpredictable tenants as expensive, biasing them to low-index
+threads and away from the predictable tenant's requests.
+
+Run:  python examples/unpredictable_tenants.py
+"""
+
+from repro import Simulation, ThreadPoolServer, make_scheduler
+from repro.metrics import MetricsCollector
+from repro.simulator import BackloggedSource, make_rng
+
+NUM_THREADS = 8
+THREAD_RATE = 1000.0
+DURATION = 40.0
+NUM_UNPREDICTABLE = 6
+
+
+def unpredictable_sampler(tenant: str):
+    """Mostly cheap requests, occasionally a 1000x monster -- *on the
+    same API*, so per-tenant-per-API estimators cannot separate them
+    (the high-CoV tenants of the paper's Figure 3).  A moving average
+    settles near the mean and underestimates every monster ~12x; the
+    pessimistic estimator stays near the maximum."""
+    rng = make_rng(3, "unpredictable", tenant)
+
+    def sample():
+        if rng.random() < 0.08:
+            return ("call", float(rng.normal(2000.0, 200.0)))
+        return ("call", float(max(0.1, rng.normal(2.0, 0.4))))
+
+    return sample
+
+
+def run(scheduler_name: str) -> tuple:
+    sim = Simulation()
+    scheduler = make_scheduler(
+        scheduler_name,
+        num_threads=NUM_THREADS,
+        thread_rate=THREAD_RATE,
+        initial_estimate=2.0,
+    )
+    server = ThreadPoolServer(
+        sim, scheduler, num_threads=NUM_THREADS, rate=THREAD_RATE,
+        refresh_interval=0.01,
+    )
+    collector = MetricsCollector(server, sample_interval=0.1, warmup=5.0)
+
+    BackloggedSource(
+        server, "steady", lambda: ("get", 1.0), window=4
+    ).start()
+    for index in range(NUM_UNPREDICTABLE):
+        tenant = f"wild-{index}"
+        BackloggedSource(
+            server, tenant, unpredictable_sampler(tenant), window=4
+        ).start()
+
+    sim.run(until=DURATION)
+    result = collector.result()
+    fair_rate = NUM_THREADS * THREAD_RATE / (1 + NUM_UNPREDICTABLE)
+    series = result.service_series("steady")
+    stats = result.latency_stats("steady")
+    return series.lag_sigma(fair_rate), stats.p99
+
+
+def main() -> None:
+    print(
+        f"1 predictable tenant vs {NUM_UNPREDICTABLE} unpredictable tenants "
+        f"on {NUM_THREADS} threads; costs are NOT known to the scheduler.\n"
+    )
+    print(f"{'scheduler':>8} | {'sigma(lag)':>10} | {'steady p99':>10}")
+    print("-" * 36)
+    for name in ("wfq-e", "wf2q-e", "2dfq-e"):
+        sigma, p99 = run(name)
+        print(f"{name:>8} | {sigma:9.4f} s | {p99 * 1000:7.1f} ms")
+    print(
+        "\n2DFQ^E's pessimistic estimation keeps the unpredictable tenants'"
+        "\nmasquerading monsters off the threads serving the steady tenant."
+    )
+
+
+if __name__ == "__main__":
+    main()

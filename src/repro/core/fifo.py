@@ -1,0 +1,41 @@
+"""FIFO scheduling: a single shared admission queue.
+
+This is the status quo the paper motivates against (§1: "requests to the
+NameNode wait in an admission queue and are processed in FIFO order by a
+set of worker threads").  It provides no isolation whatsoever -- an
+aggressive tenant's burst occupies the whole queue -- and serves as the
+do-nothing baseline in examples and tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from .request import Request
+from .scheduler import Scheduler
+
+__all__ = ["FIFOScheduler"]
+
+
+class FIFOScheduler(Scheduler):
+    """Global first-in-first-out queue across all tenants."""
+
+    name = "fifo"
+
+    def __init__(self, num_threads: int, thread_rate: float = 1.0) -> None:
+        super().__init__(num_threads, thread_rate)
+        self._queue: Deque[Request] = deque()
+
+    def enqueue(self, request: Request, now: float) -> None:
+        self._state_for(request)  # track tenants for introspection
+        self._queue.append(request)
+        self._note_enqueued(request)
+
+    def dequeue(self, thread_id: int, now: float) -> Optional[Request]:
+        self._check_thread(thread_id)
+        if not self._queue:
+            return None
+        request = self._queue.popleft()
+        self._note_dispatched(request, thread_id, now)
+        return request

@@ -1,0 +1,115 @@
+"""Request model shared by every scheduler and the simulator.
+
+A :class:`Request` is the unit of work in a multi-tenant shared process:
+one API invocation by one tenant, with a *true* resource cost that is in
+general unknown to the scheduler at schedule time (paper §1, §3.2).
+
+The object carries three groups of state:
+
+* immutable identity -- tenant, API name, true cost, arrival time;
+* scheduling bookkeeping -- the cost the scheduler *charged* when it
+  dispatched the request and the remaining pre-paid credit used by
+  retroactive/refresh charging (paper §5, Figure 7);
+* lifecycle timestamps -- dispatch/completion wallclock times and the
+  worker-thread index, filled in by the simulator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Request", "RequestPhase"]
+
+_SEQUENCE = itertools.count()
+
+
+class RequestPhase:
+    """Lifecycle phases of a request (plain constants, not an Enum, to keep
+    comparisons cheap in the simulator's inner loop)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+
+
+@dataclass(eq=False)
+class Request:
+    """One tenant request flowing through the scheduler.
+
+    Parameters
+    ----------
+    tenant_id:
+        Identifier of the tenant (flow) that issued the request.
+    cost:
+        True resource cost in abstract cost units.  The scheduler must not
+        read this unless it is driven with the oracle estimator; the
+        simulator uses it to determine execution time.
+    api:
+        API name the request invokes (``"A"`` .. ``"K"`` for the
+        Azure-like workload model).  Cost estimators key their state on
+        ``(tenant_id, api)`` as described in paper §5.
+    arrival_time:
+        Wallclock arrival time in seconds.  Filled by the server on
+        submission when left at the default ``-1.0``.
+    weight:
+        Weight of the issuing tenant, cached on the request for
+        convenience.
+    """
+
+    tenant_id: str
+    cost: float
+    api: str = "default"
+    arrival_time: float = -1.0
+    weight: float = 1.0
+
+    #: Monotonically increasing global sequence number; used as the final
+    #: deterministic tie-breaker in every scheduler.
+    seqno: int = field(default_factory=lambda: next(_SEQUENCE))
+
+    # -- scheduling bookkeeping (owned by the scheduler) ------------------
+    #: Cost the scheduler charged the tenant's virtual clock at dispatch
+    #: time (``l_r`` in the paper; equals ``cost`` under oracle costs).
+    charged_cost: float = 0.0
+    #: Remaining pre-paid credit ``c_f^j`` from Figure 7 -- how much of the
+    #: charged cost has not yet been matched by measured usage.
+    credit: float = 0.0
+    #: Measured resource usage reported to the scheduler so far (through
+    #: refresh charging and completion).
+    reported_usage: float = 0.0
+
+    # -- lifecycle (owned by the simulator) --------------------------------
+    phase: str = RequestPhase.QUEUED
+    dispatch_time: float = -1.0
+    completion_time: float = -1.0
+    thread_id: int = -1
+
+    #: Optional back-reference to the workload source that issued the
+    #: request; closed-loop sources use it to submit follow-up work.
+    source: Optional[Any] = field(default=None, repr=False)
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """Estimator key: requests are grouped per tenant per API."""
+        return (self.tenant_id, self.api)
+
+    @property
+    def latency(self) -> float:
+        """Queueing + service time; only valid once the request is DONE."""
+        if self.completion_time < 0 or self.arrival_time < 0:
+            raise ValueError("latency undefined before completion")
+        return self.completion_time - self.arrival_time
+
+    @property
+    def queueing_delay(self) -> float:
+        """Time spent waiting in the scheduler before dispatch."""
+        if self.dispatch_time < 0 or self.arrival_time < 0:
+            raise ValueError("queueing delay undefined before dispatch")
+        return self.dispatch_time - self.arrival_time
+
+    def __repr__(self) -> str:  # concise: appears in simulator logs
+        return (
+            f"Request({self.tenant_id}/{self.api}#{self.seqno}"
+            f" cost={self.cost:g} phase={self.phase})"
+        )

@@ -1,0 +1,51 @@
+"""Per-tenant round-robin scheduling.
+
+One request per tenant per turn, ignoring cost entirely.  Round-robin
+provides request-count fairness but not resource fairness: a tenant with
+4-orders-of-magnitude larger requests (paper §3.1) receives 4 orders of
+magnitude more service.  Included as a baseline for examples and to
+demonstrate why cost-aware fair queuing is needed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from .request import Request
+from .scheduler import Scheduler, TenantState
+
+__all__ = ["RoundRobinScheduler"]
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycles through backlogged tenants, one request each."""
+
+    name = "round-robin"
+
+    def __init__(self, num_threads: int, thread_rate: float = 1.0) -> None:
+        super().__init__(num_threads, thread_rate)
+        # Ring of backlogged tenants; a tenant appears at most once.
+        self._ring: Deque[TenantState] = deque()
+        self._in_ring: set[str] = set()
+
+    def enqueue(self, request: Request, now: float) -> None:
+        state = self._state_for(request)
+        state.queue.append(request)
+        if state.tenant_id not in self._in_ring:
+            self._ring.append(state)
+            self._in_ring.add(state.tenant_id)
+        self._note_enqueued(request)
+
+    def dequeue(self, thread_id: int, now: float) -> Optional[Request]:
+        self._check_thread(thread_id)
+        if not self._ring:
+            return None
+        state = self._ring.popleft()
+        request = state.queue.popleft()
+        if state.queue:
+            self._ring.append(state)  # back of the ring for its next turn
+        else:
+            self._in_ring.discard(state.tenant_id)
+        self._note_dispatched(request, thread_id, now)
+        return request

@@ -1,0 +1,203 @@
+"""Scheduler interface and shared per-tenant state.
+
+A scheduler in this library is the object sitting between the admission
+queue and the worker threads of a shared multi-tenant process (paper §2):
+incoming requests are enqueued into logical per-tenant queues, and each
+time a worker thread goes idle it asks the scheduler to pick the next
+request *for that specific thread* -- the thread index matters, because
+2DFQ deliberately makes eligibility thread-dependent.
+
+The contract with the simulator's :class:`~repro.simulator.server.ThreadPoolServer`:
+
+1. ``enqueue(request, now)`` on arrival;
+2. ``dequeue(thread_id, now)`` whenever thread ``thread_id`` is idle;
+   returns a request to execute or ``None`` if nothing is queued;
+3. ``refresh(request, usage, now)`` periodically while the request runs,
+   reporting the resource usage measured since the previous report
+   (refresh charging, paper §5);
+4. ``complete(request, usage, now)`` exactly once at completion with the
+   final usage increment (retroactive charging, paper §5).
+
+All schedulers are *work conserving*: ``dequeue`` returns a request
+whenever any request is queued (paper §2, "Desirable Properties").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import ClassVar, Deque, Dict, Optional
+
+from ..errors import ConfigurationError, SchedulerError
+from .request import Request, RequestPhase
+
+__all__ = ["Scheduler", "TenantState", "MIN_COST"]
+
+#: Lower bound applied to every cost estimate so zero-cost requests can
+#: never produce zero-width virtual-time slots (and divide-by-zero in
+#: downstream bookkeeping).
+MIN_COST = 1e-9
+
+
+class TenantState:
+    """Mutable per-tenant scheduling state shared by all schedulers.
+
+    Attributes
+    ----------
+    start_tag:
+        The tenant's virtual start time ``S_f`` (Figure 7): the virtual
+        time at which its *next* request would begin service under GPS.
+    queue:
+        FIFO of the tenant's pending requests.  Fair queuing preserves
+        arrival order within a flow.
+    running:
+        Number of the tenant's requests currently executing on workers.
+    active:
+        Whether the tenant currently contributes weight to the virtual
+        clock (has queued or running work).
+    deficit:
+        Deficit counter; used only by DRR, kept here so the state object
+        can be shared by every scheduler implementation.
+    """
+
+    __slots__ = (
+        "tenant_id",
+        "weight",
+        "queue",
+        "start_tag",
+        "running",
+        "active",
+        "deficit",
+    )
+
+    def __init__(self, tenant_id: str, weight: float) -> None:
+        if weight <= 0:
+            raise ConfigurationError(f"tenant weight must be positive, got {weight}")
+        self.tenant_id = tenant_id
+        self.weight = weight
+        self.queue: Deque[Request] = deque()
+        self.start_tag = 0.0
+        self.running = 0
+        self.active = False
+        self.deficit = 0.0
+
+    @property
+    def backlogged(self) -> bool:
+        """True when the tenant has at least one queued request."""
+        return bool(self.queue)
+
+    def __repr__(self) -> str:
+        return (
+            f"TenantState({self.tenant_id}, S={self.start_tag:.6g}, "
+            f"queued={len(self.queue)}, running={self.running})"
+        )
+
+
+class Scheduler(ABC):
+    """Abstract base class for multi-thread request schedulers."""
+
+    #: Registry name; subclasses override.
+    name: ClassVar[str] = "scheduler"
+
+    def __init__(self, num_threads: int, thread_rate: float = 1.0) -> None:
+        if num_threads < 1:
+            raise ConfigurationError(f"num_threads must be >= 1, got {num_threads}")
+        if thread_rate <= 0:
+            raise ConfigurationError(
+                f"thread_rate must be positive, got {thread_rate}"
+            )
+        self._num_threads = int(num_threads)
+        self._thread_rate = float(thread_rate)
+        self._tenants: Dict[str, TenantState] = {}
+        self._size = 0
+        self._dispatched = 0
+        self._completed = 0
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def num_threads(self) -> int:
+        return self._num_threads
+
+    @property
+    def thread_rate(self) -> float:
+        return self._thread_rate
+
+    @property
+    def capacity(self) -> float:
+        """Aggregate capacity of the pool in cost units per second."""
+        return self._num_threads * self._thread_rate
+
+    @property
+    def backlog(self) -> int:
+        """Number of queued (not yet dispatched) requests."""
+        return self._size
+
+    @property
+    def dispatched_count(self) -> int:
+        return self._dispatched
+
+    @property
+    def completed_count(self) -> int:
+        return self._completed
+
+    def tenant_state(self, tenant_id: str) -> Optional[TenantState]:
+        """Expose per-tenant state (monitoring and tests)."""
+        return self._tenants.get(tenant_id)
+
+    def tenants(self) -> Dict[str, TenantState]:
+        """All tenants ever seen, keyed by id (read-only by convention)."""
+        return self._tenants
+
+    # -- scheduler contract ---------------------------------------------------
+
+    @abstractmethod
+    def enqueue(self, request: Request, now: float) -> None:
+        """Admit ``request`` at wallclock time ``now``."""
+
+    @abstractmethod
+    def dequeue(self, thread_id: int, now: float) -> Optional[Request]:
+        """Pick the next request for worker ``thread_id``, or ``None``."""
+
+    def refresh(self, request: Request, usage: float, now: float) -> None:
+        """Report interim resource usage of a running request (default: ignore)."""
+        request.reported_usage += usage
+
+    def complete(self, request: Request, usage: float, now: float) -> None:
+        """Report completion with the final usage increment."""
+        request.reported_usage += usage
+        request.phase = RequestPhase.DONE
+        self._completed += 1
+
+    # -- shared helpers --------------------------------------------------------
+
+    def _state_for(self, request: Request) -> TenantState:
+        """Fetch or create the tenant state for a request's tenant."""
+        state = self._tenants.get(request.tenant_id)
+        if state is None:
+            state = TenantState(request.tenant_id, request.weight)
+            self._tenants[request.tenant_id] = state
+        return state
+
+    def _check_thread(self, thread_id: int) -> None:
+        if not 0 <= thread_id < self._num_threads:
+            raise SchedulerError(
+                f"thread_id {thread_id} outside pool of {self._num_threads}"
+            )
+
+    def _note_enqueued(self, request: Request) -> None:
+        request.phase = RequestPhase.QUEUED
+        self._size += 1
+
+    def _note_dispatched(self, request: Request, thread_id: int, now: float) -> None:
+        request.phase = RequestPhase.RUNNING
+        request.thread_id = thread_id
+        request.dispatch_time = now
+        self._size -= 1
+        self._dispatched += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(threads={self._num_threads}, "
+            f"rate={self._thread_rate:g}, backlog={self._size})"
+        )

@@ -1,0 +1,244 @@
+"""Virtual-time scheduler framework.
+
+Every tag-based fair queue scheduler in this library -- WFQ, WF2Q, MSF2Q,
+SFQ, WF2Q+, 2DFQ and their estimated variants -- is a policy on top of
+the same bookkeeping machinery, which this module implements once:
+
+* per-tenant virtual start tags ``S_f`` (Figure 7 keeps tags per tenant
+  rather than per request; for FIFO per-tenant queues the two
+  formulations are equivalent, and the per-tenant form is what makes
+  estimated costs and retroactive charging workable);
+* a system :class:`~repro.core.virtual_time.VirtualClock` advancing at
+  ``capacity / active_weight``;
+* cost estimation at dispatch: the tenant is charged the *estimate*
+  ``l_r`` up front (``S_f += l_r / phi_f``) and the request remembers the
+  remaining credit ``c_f^j``;
+* **refresh charging** (paper §5): interim usage measurements consume the
+  credit first, then push ``S_f`` forward immediately;
+* **retroactive charging** (paper §5): at completion the final increment
+  is reconciled against the remaining credit -- overcharged tenants are
+  refunded (``S_f`` moves backwards), undercharged tenants pay up -- so
+  every tenant is eventually charged exactly what it consumed.
+
+Subclasses implement a single hook, :meth:`VirtualTimeScheduler._select`,
+choosing a backlogged tenant given the thread index and current virtual
+time, plus optionally :meth:`_fallback` for the work-conserving choice
+when no tenant is *eligible* under the policy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..errors import SchedulerError
+from ..estimation.base import CostEstimator
+from ..estimation.oracle import OracleEstimator
+from .request import Request
+from .scheduler import MIN_COST, Scheduler, TenantState
+from .virtual_time import VirtualClock
+
+__all__ = ["VirtualTimeScheduler"]
+
+#: Slack applied to eligibility comparisons to absorb floating-point
+#: round-off in virtual-time arithmetic.
+_ELIGIBILITY_EPS = 1e-9
+
+
+class VirtualTimeScheduler(Scheduler):
+    """Base class for tag-based fair schedulers over a thread pool.
+
+    Parameters
+    ----------
+    num_threads, thread_rate:
+        Shape of the worker pool; aggregate capacity is their product.
+    estimator:
+        Cost estimator consulted at dispatch time.  Defaults to the
+        oracle (true costs), which yields the paper's "known request
+        costs" algorithms; pass an
+        :class:`~repro.estimation.ema.EMAEstimator` or
+        :class:`~repro.estimation.pessimistic.PessimisticEstimator` for
+        the ^E variants.
+    """
+
+    def __init__(
+        self,
+        num_threads: int,
+        thread_rate: float = 1.0,
+        estimator: Optional[CostEstimator] = None,
+    ) -> None:
+        super().__init__(num_threads, thread_rate)
+        self._estimator = estimator if estimator is not None else OracleEstimator()
+        self._clock = VirtualClock(self.capacity)
+        # Tenants with at least one queued request, i.e. the candidates
+        # for dequeue.  dict preserves insertion order, giving stable
+        # iteration for deterministic tie-breaking.
+        self._backlogged: dict[str, TenantState] = {}
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def estimator(self) -> CostEstimator:
+        return self._estimator
+
+    @property
+    def virtual_clock(self) -> VirtualClock:
+        return self._clock
+
+    def virtual_time(self, now: float) -> float:
+        """Current system virtual time ``v(now)`` (advances the clock)."""
+        return self._clock.advance(now)
+
+    def backlogged_tenants(self) -> Iterable[TenantState]:
+        return self._backlogged.values()
+
+    # -- scheduler contract ------------------------------------------------------
+
+    def enqueue(self, request: Request, now: float) -> None:
+        state = self._state_for(request)
+        if not state.active:
+            # Newly active tenant: join the virtual clock and fast-forward
+            # the start tag (Figure 7, lines 2-5).  ``add_weight`` advances
+            # the clock internally so the slope change is exact.
+            self._clock.add_weight(state.weight, now)
+            state.start_tag = max(state.start_tag, self._clock.value)
+            state.active = True
+        else:
+            self._clock.advance(now)
+        state.queue.append(request)
+        self._backlogged[state.tenant_id] = state
+        self._note_enqueued(request)
+
+    def dequeue(self, thread_id: int, now: float) -> Optional[Request]:
+        self._check_thread(thread_id)
+        if not self._backlogged:
+            return None
+        vnow = self._clock.advance(now)
+        vnow = self._adjust_virtual_time(vnow)
+        state = self._select(thread_id, vnow)
+        if state is None:
+            # Work conservation: requests are queued, so pick something.
+            state = self._fallback(thread_id, vnow)
+        if state is None:
+            raise SchedulerError(
+                f"{type(self).__name__} violated work conservation with "
+                f"{self._size} queued requests"
+            )
+        request = state.queue.popleft()
+        if not state.queue:
+            del self._backlogged[state.tenant_id]
+        # Charge the estimate up front (Figure 7, lines 22-24).
+        estimate = max(self._estimator.estimate(request), MIN_COST)
+        request.charged_cost = estimate
+        request.credit = estimate
+        state.start_tag += estimate / state.weight
+        state.running += 1
+        self._note_dispatched(request, thread_id, now)
+        return request
+
+    def refresh(self, request: Request, usage: float, now: float) -> None:
+        """Refresh charging (Figure 7, Refresh): consume pre-paid credit,
+        then charge any excess to the tenant's clock immediately."""
+        request.reported_usage += usage
+        if usage < request.credit:
+            request.credit -= usage
+        else:
+            state = self._tenants[request.tenant_id]
+            state.start_tag += (usage - request.credit) / state.weight
+            request.credit = 0.0
+
+    def complete(self, request: Request, usage: float, now: float) -> None:
+        """Retroactive charging (Figure 7, Complete): reconcile the final
+        usage increment against the remaining credit.  If the request was
+        overcharged the adjustment is negative -- a refund."""
+        state = self._tenants.get(request.tenant_id)
+        if state is None or state.running <= 0:
+            raise SchedulerError(
+                f"complete() for request of unknown/idle tenant {request.tenant_id}"
+            )
+        self._clock.advance(now)
+        request.reported_usage += usage
+        state.start_tag += (usage - request.credit) / state.weight
+        request.credit = 0.0
+        state.running -= 1
+        self._estimator.observe(request, request.reported_usage)
+        if not state.queue and state.running == 0 and state.active:
+            # The tenant goes idle.  Figure 7 removes it from the active
+            # set as soon as its queue drains; we additionally wait for
+            # running requests to finish so that in-flight work keeps
+            # receiving (and paying for) virtual-clock share.
+            state.active = False
+            self._clock.remove_weight(state.weight, now)
+        super().complete(request, 0.0, now)
+
+    # -- policy hooks ---------------------------------------------------------------
+
+    def _adjust_virtual_time(self, vnow: float) -> float:
+        """Hook for policies that reshape virtual time (WF2Q+)."""
+        return vnow
+
+    def _select(self, thread_id: int, vnow: float) -> Optional[TenantState]:
+        """Choose a backlogged tenant for ``thread_id`` at virtual time
+        ``vnow``; return ``None`` if no tenant is eligible under the
+        policy (the framework then calls :meth:`_fallback`)."""
+        raise NotImplementedError
+
+    def _fallback(self, thread_id: int, vnow: float) -> Optional[TenantState]:
+        """Work-conserving choice when nothing is eligible.  Default:
+        smallest finish tag, i.e. the WFQ decision."""
+        return self._min_finish(self._backlogged.values())
+
+    # -- selection primitives shared by the policies -----------------------------------
+
+    def _head_estimate(self, state: TenantState) -> float:
+        """Estimated cost of the tenant's head request."""
+        return max(self._estimator.estimate(state.queue[0]), MIN_COST)
+
+    def _finish_tag(self, state: TenantState) -> float:
+        """Virtual finish time of the head request:
+        ``F_f = S_f + l_head / phi_f`` (Figure 7, line 21)."""
+        return state.start_tag + self._head_estimate(state) / state.weight
+
+    def _min_finish(
+        self, candidates: Iterable[TenantState]
+    ) -> Optional[TenantState]:
+        """Tenant with the smallest head finish tag.
+
+        Ties are broken toward the *smaller* estimated cost, then by the
+        head request's global sequence number.  The size tie-break
+        matches the paper's worked example (Figure 5c: at t=3 the F=4
+        tie between a4/b4 and c1/d1 resolves to the small requests, so
+        WFQ runs four A/B rounds before the C/D block) and is the choice
+        that minimizes potential blocking when tags are equal.
+        """
+        best: Optional[TenantState] = None
+        best_key: tuple[float, float, int] = (float("inf"), float("inf"), 0)
+        for state in candidates:
+            estimate = self._head_estimate(state)
+            key = (
+                state.start_tag + estimate / state.weight,
+                estimate,
+                state.queue[0].seqno,
+            )
+            if key < best_key:
+                best, best_key = state, key
+        return best
+
+    def _min_start(self, candidates: Iterable[TenantState]) -> Optional[TenantState]:
+        """Tenant with the smallest start tag (SFQ decision); same
+        size-then-seqno tie-breaking as :meth:`_min_finish`."""
+        best: Optional[TenantState] = None
+        best_key: tuple[float, float, int] = (float("inf"), float("inf"), 0)
+        for state in candidates:
+            key = (
+                state.start_tag,
+                self._head_estimate(state),
+                state.queue[0].seqno,
+            )
+            if key < best_key:
+                best, best_key = state, key
+        return best
+
+    @staticmethod
+    def _eligible(start_tag: float, vnow: float) -> bool:
+        """Eligibility test with float slack: ``S_f <= v(now)``."""
+        return start_tag <= vnow + _ELIGIBILITY_EPS * max(1.0, abs(vnow))

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library-specific failures with a
+single ``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SchedulerError",
+    "SimulationError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or combination of parameters was supplied."""
+
+
+class SchedulerError(ReproError):
+    """A scheduler was driven through an illegal state transition.
+
+    Examples: completing a request that was never dispatched, dequeuing
+    for a thread index outside ``range(num_threads)``.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator detected an inconsistency.
+
+    Examples: scheduling an event in the past, running a simulation that
+    has already finished.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload specification or trace could not be built or parsed."""

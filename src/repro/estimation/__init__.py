@@ -1,0 +1,54 @@
+"""Cost estimators for scheduling with unknown request costs (paper §5).
+
+The scheduler charges tenants the *estimated* cost at dispatch time and
+reconciles against measured usage via retroactive and refresh charging.
+The choice of estimator is the second half of the 2DFQ^E contribution:
+
+* :class:`OracleEstimator` -- true costs (the "known costs" experiments);
+* :class:`EMAEstimator` -- per-tenant per-API exponential moving average,
+  the baseline used by WFQ^E and WF2Q^E;
+* :class:`PessimisticEstimator` -- alpha-decayed maximum, the 2DFQ^E
+  strategy that pushes unpredictable tenants toward expensive threads;
+* :class:`LastValueEstimator`, :class:`WindowedMeanEstimator` -- further
+  baselines for estimator ablations.
+"""
+
+from .base import CostEstimator, KeyedEstimator
+from .ema import EMAEstimator
+from .last_value import LastValueEstimator
+from .oracle import OracleEstimator
+from .pessimistic import PessimisticEstimator
+from .windowed import WindowedMeanEstimator
+
+__all__ = [
+    "CostEstimator",
+    "KeyedEstimator",
+    "OracleEstimator",
+    "EMAEstimator",
+    "PessimisticEstimator",
+    "LastValueEstimator",
+    "WindowedMeanEstimator",
+    "make_estimator",
+]
+
+_FACTORIES = {
+    "oracle": OracleEstimator,
+    "ema": EMAEstimator,
+    "pessimistic": PessimisticEstimator,
+    "last-value": LastValueEstimator,
+    "windowed-mean": WindowedMeanEstimator,
+}
+
+
+def make_estimator(name: str, **kwargs) -> CostEstimator:
+    """Construct an estimator by registry name.
+
+    >>> make_estimator("ema", alpha=0.9).alpha
+    0.9
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_FACTORIES))
+        raise KeyError(f"unknown estimator {name!r}; known: {known}") from None
+    return factory(**kwargs)

@@ -1,0 +1,102 @@
+"""Cost estimator interface.
+
+Paper §3.2 and §5: request costs are unknown at schedule time, so the
+scheduler works with an *estimate* and reconciles the error later through
+retroactive and refresh charging.  An estimator maps a request to a
+predicted cost before dispatch and is updated with the measured cost once
+the request completes.  All estimators in this package key their state on
+``(tenant_id, api)`` -- the paper found per-tenant per-API state necessary
+because each API is used both predictably and unpredictably by different
+tenants (Figure 3).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Tuple
+
+from ..core.request import Request
+from ..errors import ConfigurationError
+
+__all__ = ["CostEstimator", "KeyedEstimator"]
+
+
+class CostEstimator(ABC):
+    """Predicts request costs and learns from completed requests."""
+
+    #: Human-readable name used in experiment reports.
+    name: str = "estimator"
+
+    @abstractmethod
+    def estimate(self, request: Request) -> float:
+        """Return the predicted cost of ``request`` (must be positive)."""
+
+    @abstractmethod
+    def observe(self, request: Request, actual_cost: float) -> None:
+        """Incorporate the measured total cost of a completed request."""
+
+    def reset(self) -> None:
+        """Forget all learned state (default: no state)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class KeyedEstimator(CostEstimator):
+    """Base for estimators holding one scalar state per (tenant, API) key.
+
+    Subclasses implement :meth:`_update` (new state from old state and an
+    observation) and may override :meth:`_initial_state` (state after the
+    first observation).  Before any observation for a key, the estimator
+    returns ``initial_estimate``.
+
+    Parameters
+    ----------
+    initial_estimate:
+        Cost assumed for a (tenant, API) pair never seen before.  The
+        paper does not prescribe a cold-start value; experiments configure
+        it to a small optimistic cost so that cold tenants behave like the
+        moving-average baselines the paper compares against.
+    """
+
+    def __init__(self, initial_estimate: float = 1.0) -> None:
+        if initial_estimate <= 0:
+            raise ConfigurationError(
+                f"initial_estimate must be positive, got {initial_estimate}"
+            )
+        self._initial = float(initial_estimate)
+        self._state: Dict[Tuple[str, str], float] = {}
+
+    @property
+    def initial_estimate(self) -> float:
+        return self._initial
+
+    def estimate(self, request: Request) -> float:
+        return self._state.get(request.key, self._initial)
+
+    def observe(self, request: Request, actual_cost: float) -> None:
+        if actual_cost < 0:
+            raise ConfigurationError(f"actual_cost must be >= 0, got {actual_cost}")
+        key = request.key
+        old = self._state.get(key)
+        if old is None:
+            self._state[key] = self._initial_state(actual_cost)
+        else:
+            self._state[key] = self._update(old, actual_cost)
+
+    def peek(self, tenant_id: str, api: str = "default") -> float:
+        """Current estimate for a key without a request object (testing)."""
+        return self._state.get((tenant_id, api), self._initial)
+
+    def reset(self) -> None:
+        self._state.clear()
+
+    # -- hooks ---------------------------------------------------------------
+
+    def _initial_state(self, first_cost: float) -> float:
+        """State after the first observation (default: the observation)."""
+        return first_cost
+
+    @abstractmethod
+    def _update(self, old: float, cost: float) -> float:
+        """Return the new state given the old state and an observed cost."""

@@ -1,0 +1,38 @@
+"""Per-tenant per-API exponential moving average estimator.
+
+This is the baseline estimation strategy the paper evaluates against
+(§6.2): "variants of WFQ and WF2Q that estimate request costs using
+per-tenant per-API exponential moving averages (alpha = 0.99)".  The
+update is ``est <- alpha * est + (1 - alpha) * cost``, so alpha close to 1
+weights history heavily and adapts slowly -- which is precisely why the
+paper's unpredictable tenants defeat it.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .base import KeyedEstimator
+
+__all__ = ["EMAEstimator"]
+
+
+class EMAEstimator(KeyedEstimator):
+    """Exponential moving average of observed costs per (tenant, API)."""
+
+    name = "ema"
+
+    def __init__(self, alpha: float = 0.99, initial_estimate: float = 1.0) -> None:
+        if not 0.0 <= alpha < 1.0:
+            raise ConfigurationError(f"alpha must be in [0, 1), got {alpha}")
+        super().__init__(initial_estimate=initial_estimate)
+        self._alpha = float(alpha)
+
+    @property
+    def alpha(self) -> float:
+        return self._alpha
+
+    def _update(self, old: float, cost: float) -> float:
+        return self._alpha * old + (1.0 - self._alpha) * cost
+
+    def __repr__(self) -> str:
+        return f"EMAEstimator(alpha={self._alpha})"

@@ -1,0 +1,23 @@
+"""Last-observed-cost estimator.
+
+The naive strategy used in the paper's §5 gaming example: "suppose we use
+the cost of the most recently completed request as our estimate".  A
+tenant alternating one small request with n concurrent large ones then
+receives roughly n times its fair share unless retroactive charging is in
+place.  Included as a baseline and to exercise that property test.
+"""
+
+from __future__ import annotations
+
+from .base import KeyedEstimator
+
+__all__ = ["LastValueEstimator"]
+
+
+class LastValueEstimator(KeyedEstimator):
+    """Predicts each request to cost whatever the previous one did."""
+
+    name = "last-value"
+
+    def _update(self, old: float, cost: float) -> float:
+        return cost

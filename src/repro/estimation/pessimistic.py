@@ -1,0 +1,45 @@
+"""Pessimistic (decayed-maximum) cost estimation -- the 2DFQ^E strategy.
+
+Paper §5: "individually for each tenant on each API, it tracks the cost
+of the largest request, L_max; after receiving the true cost measurement
+c_r of a just-completed request, if c_r > L_max we set L_max = c_r,
+otherwise we set L_max = alpha * L_max, where alpha < 1 but close to 1."
+
+Overestimation only delays the overestimated tenant; underestimation
+blocks worker threads for everyone (§3.2).  By estimating near the
+observed maximum, unpredictable tenants are treated as expensive and --
+combined with 2DFQ's cost-based thread partitioning -- get biased toward
+the low-index threads, away from predictable small requests.  The decay
+factor ``alpha`` tunes how much leeway a tenant has to send an occasional
+expensive request before being reclassified.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .base import KeyedEstimator
+
+__all__ = ["PessimisticEstimator"]
+
+
+class PessimisticEstimator(KeyedEstimator):
+    """Tracks an alpha-decayed maximum of observed costs per (tenant, API)."""
+
+    name = "pessimistic"
+
+    def __init__(self, alpha: float = 0.99, initial_estimate: float = 1.0) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        super().__init__(initial_estimate=initial_estimate)
+        self._alpha = float(alpha)
+
+    @property
+    def alpha(self) -> float:
+        return self._alpha
+
+    def _update(self, old: float, cost: float) -> float:
+        # Figure 7, line 30: L_max <- max(alpha * L_max, T).
+        return max(self._alpha * old, cost)
+
+    def __repr__(self) -> str:
+        return f"PessimisticEstimator(alpha={self._alpha})"

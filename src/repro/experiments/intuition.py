@@ -1,0 +1,82 @@
+"""Figure 14: the quality-of-service intuition curve (paper §7).
+
+The discussion section sketches why 2DFQ wins: moving from fully
+predictable workloads (1) toward fully unpredictable ones (2), all
+schedulers degrade, but 2DFQ degrades much more slowly, opening a gap in
+the middle where typical workloads live (3).  This module measures that
+curve directly: sweep the unpredictable fraction over [0, 1] and report
+a quality-of-service score per scheduler -- the inverse of the median
+service-lag standard deviation of the predictable small tenants
+(T1..T4), i.e. how smoothly they are served (the paper's central
+quality notion), normalized to the best scheduler at fraction 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .config import ExperimentConfig
+from .unpredictable import run_unpredictable, unpredictable_config
+
+__all__ = ["IntuitionCurve", "run_intuition_sweep"]
+
+#: The predictable small tenants whose service quality the curve tracks.
+QOS_TENANTS = ("T1", "T2", "T3", "T4")
+
+
+@dataclass
+class IntuitionCurve:
+    """Quality-of-service vs workload unpredictability, per scheduler."""
+
+    fractions: List[float]
+    #: scheduler -> QoS score per fraction (1.0 = best at fraction 0).
+    qos: Dict[str, List[float]]
+
+    def degradation(self, scheduler: str) -> float:
+        """QoS at the last fraction relative to the first: how much of
+        its service quality the scheduler retains under maximum
+        unpredictability."""
+        series = self.qos[scheduler]
+        if not series or series[0] <= 0:
+            return float("nan")
+        return series[-1] / series[0]
+
+
+def run_intuition_sweep(
+    fractions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    num_random: int = 100,
+    config: Optional[ExperimentConfig] = None,
+    tenants: Sequence[str] = QOS_TENANTS,
+    open_loop_utilization: float = 0.5,
+) -> IntuitionCurve:
+    """Measure the Figure 14 curve.
+
+    QoS score = 1 / median(sigma(service lag) of the predictable small
+    tenants), normalized so the best scheduler at fraction 0 scores 1.0.
+    """
+    if config is None:
+        config = unpredictable_config()
+    raw: Dict[str, List[float]] = {name: [] for name in config.schedulers}
+    for fraction in fractions:
+        result = run_unpredictable(
+            fraction,
+            num_random=num_random,
+            config=config,
+            open_loop_utilization=open_loop_utilization,
+        )
+        fair_rate = result.fair_rate()
+        for name, run in result.runs.items():
+            sigmas = [
+                run.lag_sigma(t, reference_rate=fair_rate) for t in tenants
+            ]
+            sigmas = [v for v in sigmas if not np.isnan(v) and v > 0]
+            score = 1.0 / float(np.median(sigmas)) if sigmas else 0.0
+            raw[name].append(score)
+    best_at_zero = max((values[0] for values in raw.values() if values), default=1.0)
+    if best_at_zero <= 0:
+        best_at_zero = 1.0
+    qos = {name: [v / best_at_zero for v in values] for name, values in raw.items()}
+    return IntuitionCurve(fractions=list(fractions), qos=qos)

@@ -1,0 +1,70 @@
+"""ASCII rendering of experiment results.
+
+The benchmark harness prints the same rows and series the paper's
+figures show; these helpers keep that output consistent and readable in
+terminals and in the committed ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["format_table", "format_named_series", "sparkline"]
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], precision: int = 4
+) -> str:
+    """Fixed-width table with auto-sized columns."""
+
+    def render(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{precision}g}"
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line shape summary of a series (for time-series figures)."""
+    values = list(values)
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    if high <= low:
+        return _SPARK_CHARS[0] * len(values)
+    scale = (len(_SPARK_CHARS) - 1) / (high - low)
+    return "".join(_SPARK_CHARS[int((v - low) * scale)] for v in values)
+
+
+def format_named_series(
+    title: str, series: Dict[str, Sequence[float]], width: int = 60
+) -> str:
+    """Render several series as labelled sparklines with min/max."""
+    lines: List[str] = [title]
+    for name, values in series.items():
+        values = list(values)
+        if len(values) > width:
+            stride = len(values) / width
+            values = [values[int(i * stride)] for i in range(width)]
+        if values:
+            lines.append(
+                f"  {name:>8} [{min(values):10.4g}, {max(values):10.4g}] "
+                f"{sparkline(values)}"
+            )
+        else:
+            lines.append(f"  {name:>8} (no data)")
+    return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""Command-line figure regeneration: ``python -m repro.figures <fig> ...``.
+
+Runs the same experiments as the benchmark suite (at the same CI scale)
+and prints the regenerated series, without requiring pytest.  Useful for
+quick interactive exploration::
+
+    python -m repro.figures list
+    python -m repro.figures fig01 fig06
+    python -m repro.figures fig08 --duration 10
+
+Figure ids match the paper's evaluation figures; see DESIGN.md for the
+index and EXPERIMENTS.md for expected shapes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+
+from .experiments.expensive_requests import (
+    SMALL_PROBE,
+    expensive_requests_config,
+    occupancy_expensive_fraction,
+    run_expensive_requests,
+    sigma_vs_expensive,
+)
+from .experiments.production import (
+    fixed_cost_lag_ranges,
+    lag_sigma_cdfs,
+    production_config,
+    run_production,
+)
+from .experiments.report import format_table, sparkline
+from .experiments.schedule_examples import (
+    gap_statistics,
+    render_schedule,
+    worked_example,
+)
+from .experiments.unpredictable import run_unpredictable_sweep, unpredictable_config
+
+__all__ = ["main", "FIGURES"]
+
+
+def fig01(args: argparse.Namespace) -> str:
+    lines = []
+    for name in ("wfq", "2dfq"):
+        slots = worked_example(name, horizon=60.0, large_cost=10.0)
+        mean_gap, max_gap = gap_statistics(slots, "A")
+        lines.append(f"--- {name} ---")
+        lines.extend(render_schedule(slots, horizon=40.0))
+        lines.append(f"A gaps: mean={mean_gap:.2f}s max={max_gap:.2f}s\n")
+    return "\n".join(lines)
+
+
+def fig05(args: argparse.Namespace) -> str:
+    lines = []
+    for name in ("wfq", "wf2q"):
+        lines.append(f"--- {name} ---")
+        lines.extend(render_schedule(worked_example(name)))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def fig06(args: argparse.Namespace) -> str:
+    return "\n".join(render_schedule(worked_example("2dfq")))
+
+
+def fig08(args: argparse.Namespace) -> str:
+    config = expensive_requests_config(duration=args.duration)
+    result = run_expensive_requests(num_expensive=50, config=config)
+    fair = result.fair_rate()
+    text = "small tenant service rate:\n"
+    for name, run in result.runs.items():
+        series = run.service_series(SMALL_PROBE)
+        text += f"  {name:>5} {sparkline(series.service_rate().tolist())}\n"
+    rows = [
+        (name, run.lag_sigma(SMALL_PROBE, reference_rate=fair))
+        for name, run in result.runs.items()
+    ]
+    text += "\n" + format_table(["scheduler", "sigma(lag) [s]"], rows)
+    text += "\n\nexpensive-time fraction per thread:\n"
+    for name, run in result.runs.items():
+        frac = occupancy_expensive_fraction(run, config.num_threads)
+        text += f"  {name:>5} " + " ".join(f"{f:.2f}" for f in frac) + "\n"
+    sweep = sigma_vs_expensive(
+        expensive_counts=(0, 25, 50, 75, 95),
+        config=expensive_requests_config(duration=min(args.duration, 3.0)),
+    )
+    text += "\nsigma(lag) vs expensive tenants:\n"
+    text += format_table(["n"] + list(sweep.sigmas), sweep.rows())
+    return text
+
+
+def fig09(args: argparse.Namespace) -> str:
+    config = production_config(duration=args.duration)
+    result = run_production(
+        num_random=80, include_fixed=True, config=config,
+        named_mode="backlogged", open_loop_utilization=0.5,
+    )
+    fair = result.fair_rate()
+    rows = []
+    for name, run in result.runs.items():
+        series = run.service_series("T1")
+        rows.append(
+            (name, series.lag_sigma(fair), float(run.gini_values.mean()))
+        )
+    text = format_table(["scheduler", "sigma(T1 lag) [s]", "mean Gini"], rows)
+    text += "\n\nsigma(lag) CDF quartiles:\n"
+    cdfs = lag_sigma_cdfs(result)
+    text += format_table(
+        ["scheduler", "q25", "q50", "q75"],
+        [
+            (n, c.quantile(0.25), c.quantile(0.5), c.quantile(0.75))
+            for n, c in cdfs.items()
+        ],
+    )
+    text += "\n\nfixed-cost probe lag ranges [s]:\n"
+    ranges = fixed_cost_lag_ranges(result)
+    probe_rows = []
+    for tenant in sorted(next(iter(ranges.values()))):
+        row = [tenant]
+        for name in result.scheduler_names:
+            p1, p99 = ranges[name][tenant]
+            row.append(f"[{p1:+.3f},{p99:+.3f}]")
+        probe_rows.append(tuple(row))
+    text += format_table(["tenant"] + result.scheduler_names, probe_rows)
+    return text
+
+
+def fig11(args: argparse.Namespace) -> str:
+    config = unpredictable_config(duration=args.duration)
+    sweep = run_unpredictable_sweep(
+        fractions=(0.0, 0.33, 0.66), num_random=150, config=config,
+        open_loop_utilization=1.3,
+    )
+    names = sweep.results[0].scheduler_names
+    rows = []
+    for fraction, result in zip(sweep.fractions, sweep.results):
+        fair = result.fair_rate()
+        rows.append(
+            tuple(
+                [f"{fraction:.0%}"]
+                + [
+                    result[n].service_series("T1").lag_sigma(fair)
+                    for n in names
+                ]
+            )
+        )
+    return "sigma(T1 lag) [s]:\n" + format_table(["unpredictable"] + names, rows)
+
+
+FIGURES: Dict[str, Callable[[argparse.Namespace], str]] = {
+    "fig01": fig01,
+    "fig05": fig05,
+    "fig06": fig06,
+    "fig08": fig08,
+    "fig09": fig09,
+    "fig11": fig11,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.figures",
+        description="Regenerate figures from the 2DFQ paper's evaluation.",
+    )
+    parser.add_argument(
+        "figures", nargs="+",
+        help=f"figure ids ({', '.join(sorted(FIGURES))}) or 'list'",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=6.0,
+        help="simulated seconds per run (default 6; paper scale is 15)",
+    )
+    args = parser.parse_args(argv)
+    if args.figures == ["list"]:
+        for fig in sorted(FIGURES):
+            print(fig)
+        return 0
+    for fig in args.figures:
+        if fig not in FIGURES:
+            parser.error(f"unknown figure {fig!r}; try 'list'")
+        print(f"\n===== {fig} =====")
+        print(FIGURES[fig](args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

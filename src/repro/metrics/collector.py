@@ -1,0 +1,244 @@
+"""Metrics collector: hooks a server and samples everything the paper plots.
+
+One collector per simulation run.  It
+
+* mirrors every arrival into a fluid :class:`~repro.simulator.gps.GPSReference`
+  of rate ``N * r`` (the paper's reference system, §6);
+* samples cumulative per-tenant service (actual and GPS) every
+  ``sample_interval`` seconds (paper: 100 ms);
+* records per-request latencies at completion;
+* records the dispatch log -- ``(thread, tenant, api, cost, start, end)``
+  -- from which the thread-occupancy plots (Figures 8b/9b/11b) are
+  regenerated;
+* samples the Gini index of interval service across active tenants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.request import Request
+from ..simulator.gps import GPSReference
+from ..simulator.server import ThreadPoolServer
+from .gini import gini_index
+from .latency import LatencyStats, latency_stats
+from .service import ServiceSeries, ServiceTracker
+
+__all__ = ["DispatchRecord", "MetricsCollector", "RunMetrics"]
+
+
+@dataclass(frozen=True)
+class DispatchRecord:
+    """One executed request in the occupancy log."""
+
+    thread_id: int
+    tenant_id: str
+    api: str
+    cost: float
+    start: float
+    end: float
+
+
+class MetricsCollector:
+    """Attach to a server *before* starting sources; read results after."""
+
+    def __init__(
+        self,
+        server: ThreadPoolServer,
+        sample_interval: float = 0.1,
+        record_dispatches: bool = True,
+        track_gps: bool = True,
+        warmup: float = 0.0,
+    ) -> None:
+        if sample_interval <= 0:
+            raise ValueError(f"sample_interval must be positive, got {sample_interval}")
+        self._server = server
+        self._sim = server.sim
+        self._interval = float(sample_interval)
+        self._warmup = float(warmup)
+        self._tracker = ServiceTracker()
+        self._gps: Optional[GPSReference] = (
+            GPSReference(server.num_threads * server.rate) if track_gps else None
+        )
+        self._latencies: Dict[str, List[float]] = {}
+        self._dispatch_log: List[DispatchRecord] = [] if record_dispatches else []
+        self._record_dispatches = record_dispatches
+        self._gini_times: List[float] = []
+        self._gini_values: List[float] = []
+        self._seen_tenants: set[str] = set()
+        self._previous_service: Dict[str, float] = {}
+        self._sample_index = 0
+        server.on_submit(self._on_submit)
+        server.on_dispatch(self._on_dispatch)
+        server.on_complete(self._on_complete)
+        # Samples sit on the absolute grid k * interval (multiplication,
+        # not accumulation) so no float drift pushes the final sample
+        # past the experiment's `until` horizon.
+        self._sim.at(self._interval, self._sample)
+
+    # -- listeners ------------------------------------------------------------
+
+    def _on_submit(self, request: Request) -> None:
+        self._seen_tenants.add(request.tenant_id)
+        if self._gps is not None:
+            self._gps.arrive(
+                request.tenant_id, request.cost, self._sim.now, request.weight
+            )
+
+    def _on_dispatch(self, request: Request) -> None:
+        # Record at dispatch (with the deterministic simulated end time)
+        # rather than completion, so requests still running when the
+        # simulation stops -- e.g. multi-second expensive requests --
+        # appear in the occupancy log.
+        if self._record_dispatches:
+            self._dispatch_log.append(
+                DispatchRecord(
+                    thread_id=request.thread_id,
+                    tenant_id=request.tenant_id,
+                    api=request.api,
+                    cost=request.cost,
+                    start=request.dispatch_time,
+                    end=request.dispatch_time + request.cost / self._server.rate,
+                )
+            )
+
+    def _on_complete(self, request: Request) -> None:
+        if request.completion_time >= self._warmup:
+            self._latencies.setdefault(request.tenant_id, []).append(
+                request.latency
+            )
+
+    # -- sampling ----------------------------------------------------------------
+
+    def _sample(self) -> None:
+        now = self._sim.now
+        actual: Dict[str, float] = {}
+        gps: Dict[str, float] = {}
+        if self._gps is not None:
+            self._gps.advance(now)
+        for tenant in self._seen_tenants:
+            actual[tenant] = self._server.service_received(tenant)
+            if self._gps is not None:
+                gps[tenant] = self._gps.service(tenant)
+        if now >= self._warmup:
+            self._tracker.observe(now, actual, gps)
+            self._sample_gini(now, actual)
+        self._previous_service = actual
+        self._sample_index += 1
+        self._sim.at((self._sample_index + 1) * self._interval, self._sample)
+
+    def _sample_gini(self, now: float, actual: Dict[str, float]) -> None:
+        scheduler = self._server.scheduler
+        deltas = []
+        for tenant_id, state in scheduler.tenants().items():
+            if not state.active:
+                continue
+            delta = actual.get(tenant_id, 0.0) - self._previous_service.get(
+                tenant_id, 0.0
+            )
+            deltas.append(max(0.0, delta) / state.weight)
+        if deltas:
+            self._gini_times.append(now)
+            self._gini_values.append(gini_index(deltas))
+
+    # -- results ------------------------------------------------------------------
+
+    def result(self) -> "RunMetrics":
+        """Freeze collected data (call after the simulation finishes)."""
+        return RunMetrics(
+            tracker=self._tracker,
+            latencies={k: list(v) for k, v in self._latencies.items()},
+            dispatch_log=list(self._dispatch_log),
+            gini_times=np.asarray(self._gini_times),
+            gini_values=np.asarray(self._gini_values),
+            sample_interval=self._interval,
+        )
+
+
+class RunMetrics:
+    """Everything measured during one scheduler run."""
+
+    def __init__(
+        self,
+        tracker: ServiceTracker,
+        latencies: Dict[str, List[float]],
+        dispatch_log: List[DispatchRecord],
+        gini_times: np.ndarray,
+        gini_values: np.ndarray,
+        sample_interval: float,
+    ) -> None:
+        self._tracker = tracker
+        self.latencies = latencies
+        self.dispatch_log = dispatch_log
+        self.gini_times = gini_times
+        self.gini_values = gini_values
+        self.sample_interval = sample_interval
+
+    # -- service -------------------------------------------------------------
+
+    def tenants(self) -> List[str]:
+        return self._tracker.tenants()
+
+    def service_series(self, tenant_id: str) -> ServiceSeries:
+        return self._tracker.series(tenant_id)
+
+    def lag_sigma(
+        self, tenant_id: str, reference_rate: Optional[float] = None
+    ) -> float:
+        """sigma of service lag for one tenant (seconds if rate given)."""
+        return self.service_series(tenant_id).lag_sigma(reference_rate)
+
+    def lag_sigmas(
+        self,
+        tenants: Optional[Sequence[str]] = None,
+        reference_rate: Optional[float] = None,
+    ) -> Dict[str, float]:
+        """sigma(lag) per tenant -- the CDF input of Figures 10/12."""
+        names = list(tenants) if tenants is not None else self.tenants()
+        return {t: self.lag_sigma(t, reference_rate) for t in names}
+
+    # -- latency --------------------------------------------------------------
+
+    def latency_stats(self, tenant_id: str) -> LatencyStats:
+        return latency_stats(self.latencies.get(tenant_id, []))
+
+    def latency_p99(self, tenant_id: str) -> float:
+        return self.latency_stats(tenant_id).p99
+
+    # -- occupancy --------------------------------------------------------------
+
+    def occupancy_matrix(
+        self, t_start: float, t_end: float, resolution: float, num_threads: int
+    ) -> np.ndarray:
+        """Request-cost-per-thread-per-time grid for the Figure 8b/9b/11b
+        occupancy plots: entry ``[i, k]`` is the cost of the request
+        running on thread ``i`` during time bin ``k`` (0 when idle)."""
+        bins = max(1, int(round((t_end - t_start) / resolution)))
+        grid = np.zeros((num_threads, bins))
+        for record in self.dispatch_log:
+            if record.end <= t_start or record.start >= t_end:
+                continue
+            first = max(0, int((record.start - t_start) / resolution))
+            last = min(bins, int(np.ceil((record.end - t_start) / resolution)))
+            grid[record.thread_id, first:last] = record.cost
+        return grid
+
+    def thread_cost_partition(self, num_threads: int) -> np.ndarray:
+        """Mean log10 cost of requests executed per thread.
+
+        Under 2DFQ this is decreasing in thread index (low-index threads
+        run expensive requests); under WFQ/WF2Q it is flat -- the
+        quantitative version of the occupancy figures.
+        """
+        sums = np.zeros(num_threads)
+        counts = np.zeros(num_threads)
+        for record in self.dispatch_log:
+            duration = record.end - record.start
+            sums[record.thread_id] += np.log10(max(record.cost, 1e-12)) * duration
+            counts[record.thread_id] += duration
+        with np.errstate(invalid="ignore"):
+            means = sums / counts
+        return means

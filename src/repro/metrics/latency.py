@@ -1,0 +1,83 @@
+"""Latency statistics.
+
+The paper reports per-tenant latency distributions with 1st/99th
+percentile whiskers (Figure 12) and focuses on the 99th percentile for
+the speedup suite (Figure 13).  This module provides the percentile and
+distribution helpers over raw per-request latency samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = ["LatencyStats", "latency_stats", "speedup", "percentile_table"]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a latency sample set (seconds)."""
+
+    count: int
+    mean: float
+    p1: float
+    p50: float
+    p99: float
+    maximum: float
+
+    @property
+    def empty(self) -> bool:
+        return self.count == 0
+
+
+_EMPTY = LatencyStats(count=0, mean=float("nan"), p1=float("nan"),
+                      p50=float("nan"), p99=float("nan"), maximum=float("nan"))
+
+
+def latency_stats(samples: Sequence[float]) -> LatencyStats:
+    """Compute the paper's latency summary for one tenant."""
+    if len(samples) == 0:
+        return _EMPTY
+    array = np.asarray(samples, dtype=float)
+    p1, p50, p99 = np.percentile(array, [1, 50, 99])
+    return LatencyStats(
+        count=int(array.size),
+        mean=float(array.mean()),
+        p1=float(p1),
+        p50=float(p50),
+        p99=float(p99),
+        maximum=float(array.max()),
+    )
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """The paper's speedup convention (§6.2.2): how much faster the
+    improved scheduler's latency is relative to the baseline's.
+
+    Expressed as a positive factor when improved < baseline and a
+    negative factor when improved > baseline (Figure 13 plots "-100x ..
+    1000x" with a sign change at parity), matching e.g. "T1's 99th
+    percentile latency was 3.3ms under 2DFQ^E and 4.5ms under WFQ^E,
+    giving 2DFQ^E a speedup of 1.4x".
+    """
+    if improved <= 0 or baseline <= 0 or np.isnan(improved) or np.isnan(baseline):
+        return float("nan")
+    ratio = baseline / improved
+    if ratio >= 1.0:
+        return ratio
+    return -1.0 / ratio
+
+
+def percentile_table(
+    latencies: Dict[str, Sequence[float]], percentile: float = 99.0
+) -> Dict[str, float]:
+    """Per-tenant latency percentile, NaN for tenants with no samples."""
+    out: Dict[str, float] = {}
+    for tenant, samples in latencies.items():
+        if len(samples) == 0:
+            out[tenant] = float("nan")
+        else:
+            out[tenant] = float(np.percentile(np.asarray(samples), percentile))
+    return out

@@ -1,0 +1,120 @@
+"""Service curves and derived series (service rate, service lag).
+
+Definitions follow paper §6:
+
+* **service received** ``W_f(0, t)`` -- cumulative cost units delivered
+  to tenant ``f`` (running requests count partially);
+* **service rate** -- work done measured in fixed intervals (the paper
+  uses 100 ms);
+* **service lag** -- the deviation of actual service from the ideal GPS
+  share.  We report it sign-convention "ahead is positive"
+  (``actual - GPS``), matching the paper's plots where WFQ keeps small
+  tenants seconds *ahead* of their fair share; converted to seconds by
+  dividing by the tenant's reference fair-share rate;
+* **service lag variation** ``sigma(lag)`` -- the standard deviation of
+  the lag series, the paper's headline burstiness metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["ServiceSeries", "ServiceTracker"]
+
+
+@dataclass
+class ServiceSeries:
+    """Sampled cumulative service of one tenant under one scheduler.
+
+    All arrays share the index of ``times``.
+    """
+
+    tenant_id: str
+    times: np.ndarray
+    actual: np.ndarray  # W_sched(0, t), cost units
+    gps: np.ndarray     # W_GPS(0, t), cost units
+
+    def service_rate(self) -> np.ndarray:
+        """Work done per sampling interval (cost units per interval),
+        the quantity plotted in Figures 8a/9a/11a."""
+        return np.diff(self.actual, prepend=0.0)
+
+    def lag_units(self) -> np.ndarray:
+        """Service lag in cost units; positive = ahead of GPS."""
+        return self.actual - self.gps
+
+    def lag_seconds(self, reference_rate: float) -> np.ndarray:
+        """Service lag in seconds of fair-share service.
+
+        ``reference_rate`` is the tenant's nominal GPS rate in cost
+        units per second (``capacity * phi_f / sum(phi)`` for the
+        experiment's steady-state tenant population).
+        """
+        if reference_rate <= 0:
+            raise ValueError(f"reference_rate must be positive, got {reference_rate}")
+        return self.lag_units() / reference_rate
+
+    def lag_sigma(self, reference_rate: Optional[float] = None) -> float:
+        """Standard deviation of service lag -- the burstiness metric.
+
+        In seconds when ``reference_rate`` is given, else in cost units.
+        """
+        lag = self.lag_units()
+        if reference_rate is not None:
+            lag = lag / reference_rate
+        if lag.size == 0:
+            return 0.0
+        return float(np.std(lag))
+
+
+class ServiceTracker:
+    """Accumulates sampled service values during a run, then freezes
+    them into :class:`ServiceSeries` objects."""
+
+    def __init__(self) -> None:
+        self._times: List[float] = []
+        self._actual: Dict[str, List[float]] = {}
+        self._gps: Dict[str, List[float]] = {}
+
+    def observe(
+        self, time: float, actual: Dict[str, float], gps: Dict[str, float]
+    ) -> None:
+        """Record one sample.  Tenants appearing mid-run are backfilled
+        with zero service for earlier samples."""
+        index = len(self._times)
+        self._times.append(time)
+        for tenant, value in actual.items():
+            column = self._actual.setdefault(tenant, [0.0] * index)
+            if len(column) < index:
+                column.extend([column[-1] if column else 0.0] * (index - len(column)))
+            column.append(value)
+        for tenant, value in gps.items():
+            column = self._gps.setdefault(tenant, [0.0] * index)
+            if len(column) < index:
+                column.extend([column[-1] if column else 0.0] * (index - len(column)))
+            column.append(value)
+
+    def tenants(self) -> List[str]:
+        return sorted(self._actual)
+
+    def series(self, tenant_id: str) -> ServiceSeries:
+        """Freeze the samples of one tenant into a series."""
+        times = np.asarray(self._times)
+        n = times.size
+
+        def column(data: Dict[str, List[float]]) -> np.ndarray:
+            values = data.get(tenant_id, [])
+            if len(values) < n:
+                pad_value = values[-1] if values else 0.0
+                values = values + [pad_value] * (n - len(values))
+            return np.asarray(values)
+
+        return ServiceSeries(
+            tenant_id=tenant_id,
+            times=times,
+            actual=column(self._actual),
+            gps=column(self._gps),
+        )

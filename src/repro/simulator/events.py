@@ -1,0 +1,95 @@
+"""Binary-heap event queue for the discrete-event simulator.
+
+Events are ``(time, sequence)``-ordered callbacks.  The sequence number
+guarantees FIFO ordering among events scheduled for the same instant,
+which keeps every simulation fully deterministic.  Cancellation is lazy:
+cancelled events stay in the heap and are skipped on pop, the standard
+O(1)-cancel technique for simulation heaps.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+__all__ = ["EventHandle", "EventQueue"]
+
+
+class EventHandle:
+    """Opaque handle to a scheduled event; supports cancellation."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(
+        self, time: float, seq: int, fn: Callable[..., Any], args: Tuple[Any, ...]
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn: Optional[Callable[..., Any]] = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it; idempotent."""
+        self.cancelled = True
+        self.fn = None  # free references early
+        self.args = ()
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:g}, seq={self.seq}, {state})"
+
+
+class EventQueue:
+    """Min-heap of timed callbacks with lazy cancellation."""
+
+    __slots__ = ("_heap", "_seq", "_live")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, EventHandle]] = []
+        self._seq = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of pending (non-cancelled) events."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at ``time`` and return a handle."""
+        handle = EventHandle(time, next(self._seq), fn, args)
+        heapq.heappush(self._heap, (time, handle.seq, handle))
+        self._live += 1
+        return handle
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a previously pushed event (no-op if already fired)."""
+        if not handle.cancelled:
+            handle.cancel()
+            self._live -= 1
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest pending event, or ``None`` when empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def pop(self) -> EventHandle:
+        """Remove and return the earliest pending event."""
+        self._drop_cancelled()
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        _, _, handle = heapq.heappop(self._heap)
+        self._live -= 1
+        return handle
+
+    def _drop_cancelled(self) -> None:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)

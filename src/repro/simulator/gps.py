@@ -1,0 +1,172 @@
+"""Fluid GPS (Generalized Processor Sharing) reference server.
+
+The paper's service-lag metric compares every scheduler against an ideal
+fluid server: "For N threads with r processing rate, we use a reference
+GPS system with rate Nr" (§6).  Under GPS, each backlogged flow ``f`` is
+served continuously at rate ``C * phi_f / Phi(t)``, where ``Phi(t)`` sums
+the weights of flows with backlog.
+
+Implementation: the classic virtual-time formulation.  System virtual
+time ``V(t)`` advances at ``C / Phi(t)``; a flow activated at virtual
+time ``V`` with backlog ``b`` drains exactly when virtual time reaches
+its *virtual emptying time* ``E_f = V + b / phi_f``.  Crucially ``E_f``
+is invariant under active-set changes, so flows sit in a lazy min-heap
+keyed by ``E_f`` and the whole fluid system advances event-by-event in
+``O(log F)`` per arrival/drain.  Cumulative service is then a pure
+function of state:
+
+    W_f(t) = arrived_f - backlog_f(t),
+    backlog_f(t) = phi_f * (E_f - V(t))   while active, else 0.
+
+This substrate is exact (up to float round-off), not a discretization.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError, SimulationError
+
+__all__ = ["GPSReference"]
+
+
+class _Flow:
+    __slots__ = ("flow_id", "weight", "arrived", "active", "empty_at", "version")
+
+    def __init__(self, flow_id: str, weight: float) -> None:
+        self.flow_id = flow_id
+        self.weight = weight
+        self.arrived = 0.0
+        self.active = False
+        #: Virtual emptying time E_f (valid while active).
+        self.empty_at = 0.0
+        #: Heap entry version for lazy invalidation.
+        self.version = 0
+
+
+class GPSReference:
+    """Exact fluid weighted processor sharing over the same arrivals.
+
+    Feed it every request arrival (true cost) with :meth:`arrive`, then
+    query per-flow cumulative service with :meth:`service` after
+    :meth:`advance`-ing to the sample time.
+    """
+
+    def __init__(self, capacity: float) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        self._capacity = float(capacity)
+        self._virtual = 0.0
+        self._wallclock = 0.0
+        self._active_weight = 0.0
+        self._flows: Dict[str, _Flow] = {}
+        # Heap entries carry a globally unique sequence number so ties on
+        # (empty_at) never fall through to comparing _Flow objects.
+        self._heap: List[Tuple[float, int, int, _Flow]] = []
+        self._entry_seq = itertools.count()
+
+    # -- observation -----------------------------------------------------------
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    @property
+    def virtual_time(self) -> float:
+        return self._virtual
+
+    @property
+    def now(self) -> float:
+        return self._wallclock
+
+    @property
+    def active_weight(self) -> float:
+        return self._active_weight
+
+    def backlog(self, flow_id: str) -> float:
+        """Remaining fluid backlog of a flow at the current time."""
+        flow = self._flows.get(flow_id)
+        if flow is None or not flow.active:
+            return 0.0
+        return max(0.0, flow.weight * (flow.empty_at - self._virtual))
+
+    def service(self, flow_id: str) -> float:
+        """Cumulative service W_f(0, t) delivered to a flow by GPS."""
+        flow = self._flows.get(flow_id)
+        if flow is None:
+            return 0.0
+        return flow.arrived - self.backlog(flow_id)
+
+    # -- driving ------------------------------------------------------------------
+
+    def arrive(
+        self, flow_id: str, cost: float, now: float, weight: float = 1.0
+    ) -> None:
+        """Register the arrival of ``cost`` units of work for a flow."""
+        if cost < 0:
+            raise ConfigurationError(f"cost must be >= 0, got {cost}")
+        self.advance(now)
+        flow = self._flows.get(flow_id)
+        if flow is None:
+            flow = _Flow(flow_id, weight)
+            self._flows[flow_id] = flow
+        flow.arrived += cost
+        if cost == 0:
+            return
+        if flow.active:
+            flow.empty_at += cost / flow.weight
+        else:
+            flow.active = True
+            self._active_weight += flow.weight
+            flow.empty_at = self._virtual + cost / flow.weight
+        flow.version += 1
+        heapq.heappush(
+            self._heap, (flow.empty_at, next(self._entry_seq), flow.version, flow)
+        )
+
+    def advance(self, to_time: float) -> None:
+        """Evolve the fluid system to wallclock ``to_time``."""
+        if to_time < self._wallclock - 1e-12:
+            raise SimulationError(
+                f"GPS time moved backwards: {to_time} < {self._wallclock}"
+            )
+        while True:
+            flow = self._peek_active()
+            if flow is None:
+                # Nothing backlogged: virtual time freezes.
+                self._wallclock = max(self._wallclock, to_time)
+                return
+            dv = flow.empty_at - self._virtual
+            dt = dv * self._active_weight / self._capacity
+            empty_wallclock = self._wallclock + dt
+            if empty_wallclock <= to_time + 1e-15:
+                # The flow drains before (or at) the target time.
+                self._virtual = flow.empty_at
+                self._wallclock = empty_wallclock
+                heapq.heappop(self._heap)
+                flow.active = False
+                self._active_weight -= flow.weight
+                if self._active_weight < 1e-12:
+                    self._active_weight = 0.0
+                continue
+            # Partial advance up to the target time.
+            elapsed = to_time - self._wallclock
+            if elapsed > 0:
+                self._virtual += elapsed * self._capacity / self._active_weight
+                self._wallclock = to_time
+            return
+
+    # -- internals ------------------------------------------------------------------
+
+    def _peek_active(self) -> Optional[_Flow]:
+        """Earliest-draining active flow, skipping stale heap entries."""
+        heap = self._heap
+        while heap:
+            _, _, version, flow = heap[0]
+            if not flow.active or version != flow.version:
+                heapq.heappop(heap)
+                continue
+            return flow
+        return None

@@ -1,0 +1,221 @@
+"""Workload sources: objects that submit requests to a server over time.
+
+Two arrival disciplines cover everything in the paper's evaluation:
+
+* **open loop** -- requests arrive at externally determined times,
+  regardless of how the server is doing.  Used for trace replay
+  (:class:`TraceSource`) and generative arrivals
+  (:class:`ArrivalProcessSource`).
+* **closed loop / backlogged** -- the tenant keeps a fixed number of
+  requests outstanding and submits a new one the moment one completes
+  (:class:`BackloggedSource`).  This realizes the paper's "continuously
+  backlogged tenants" (§6.1.1, §6.2.2): the tenant's queue never drains,
+  so it is always competing for its fair share.
+
+Sources attach themselves to requests (``request.source``) so the server
+can notify them of completions in O(1) without a global fan-out.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional, Tuple
+
+from ..core.request import Request
+from ..errors import ConfigurationError
+from .server import ThreadPoolServer
+
+__all__ = [
+    "Source",
+    "TraceSource",
+    "BackloggedSource",
+    "ArrivalProcessSource",
+]
+
+#: A sampler returns (api, cost) for the next request of a tenant.
+RequestSampler = Callable[[], Tuple[str, float]]
+#: An inter-arrival sampler returns the gap to the next arrival (seconds).
+GapSampler = Callable[[], float]
+
+
+class Source:
+    """Base class wiring a source to its server."""
+
+    def __init__(self, server: ThreadPoolServer) -> None:
+        self.server = server
+        self.submitted = 0
+
+    def start(self) -> None:
+        """Begin submitting work (schedule initial events)."""
+        raise NotImplementedError
+
+    def on_request_complete(self, request: Request) -> None:
+        """Completion callback; default: nothing (open-loop sources)."""
+
+    def _submit(
+        self, tenant_id: str, api: str, cost: float, weight: float = 1.0
+    ) -> Request:
+        request = Request(
+            tenant_id=tenant_id, api=api, cost=cost, weight=weight, source=self
+        )
+        self.server.submit(request)
+        self.submitted += 1
+        return request
+
+
+class TraceSource(Source):
+    """Open-loop replay of ``(time, tenant, api, cost)`` records.
+
+    Records are consumed lazily (each arrival schedules the next) so a
+    multi-million-record trace does not preload the event heap.
+
+    Parameters
+    ----------
+    records:
+        Iterable of ``(time, tenant_id, api, cost)`` tuples sorted by
+        time.  Times are in trace seconds.
+    speed:
+        Replay speed multiplier: 2.0 compresses the trace to half its
+        duration (the paper sweeps 0.5x - 4x in §6.2.2).
+    weight:
+        Scheduler weight stamped on every replayed request.
+    """
+
+    def __init__(
+        self,
+        server: ThreadPoolServer,
+        records: Iterable[Tuple[float, str, str, float]],
+        speed: float = 1.0,
+        weight: float = 1.0,
+    ) -> None:
+        super().__init__(server)
+        if speed <= 0:
+            raise ConfigurationError(f"speed must be positive, got {speed}")
+        self._records: Iterator[Tuple[float, str, str, float]] = iter(records)
+        self._speed = float(speed)
+        self._weight = float(weight)
+        self._last_time: Optional[float] = None
+
+    def start(self) -> None:
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        record = next(self._records, None)
+        if record is None:
+            return
+        time, tenant_id, api, cost = record
+        if self._last_time is not None and time < self._last_time:
+            raise ConfigurationError("trace records must be sorted by time")
+        self._last_time = time
+        self.server.sim.at(
+            time / self._speed, self._fire, tenant_id, api, cost
+        )
+
+    def _fire(self, tenant_id: str, api: str, cost: float) -> None:
+        self._submit(tenant_id, api, cost, self._weight)
+        self._schedule_next()
+
+
+class BackloggedSource(Source):
+    """Closed-loop tenant that always has ``window`` requests in flight.
+
+    On start it submits ``window`` requests; each completion immediately
+    triggers the next submission, so the tenant's logical queue never
+    drains -- the "continuously backlogged" tenants of the evaluation.
+
+    Parameters
+    ----------
+    tenant_id:
+        Flow identifier.
+    sampler:
+        Callable returning ``(api, cost)`` for each new request.
+    window:
+        Number of outstanding requests to maintain (>= 1).  Values above
+        1 keep the tenant backlogged even while requests execute.
+    limit:
+        Optional cap on total submissions (for bounded tests).
+    """
+
+    def __init__(
+        self,
+        server: ThreadPoolServer,
+        tenant_id: str,
+        sampler: RequestSampler,
+        window: int = 4,
+        weight: float = 1.0,
+        start_time: float = 0.0,
+        limit: Optional[int] = None,
+    ) -> None:
+        super().__init__(server)
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        self.tenant_id = tenant_id
+        self._sampler = sampler
+        self._window = int(window)
+        self._weight = float(weight)
+        self._start_time = float(start_time)
+        self._limit = limit
+
+    def start(self) -> None:
+        self.server.sim.at(self._start_time, self._prime)
+
+    def _prime(self) -> None:
+        for _ in range(self._window):
+            if not self._submit_next():
+                break
+
+    def on_request_complete(self, request: Request) -> None:
+        self._submit_next()
+
+    def _submit_next(self) -> bool:
+        if self._limit is not None and self.submitted >= self._limit:
+            return False
+        api, cost = self._sampler()
+        self._submit(self.tenant_id, api, cost, self._weight)
+        return True
+
+
+class ArrivalProcessSource(Source):
+    """Open-loop generative arrivals (e.g. Poisson) for one tenant.
+
+    Parameters
+    ----------
+    gap_sampler:
+        Callable returning the next inter-arrival gap in seconds (e.g.
+        exponential for Poisson arrivals).
+    sampler:
+        Callable returning ``(api, cost)`` per request.
+    until:
+        Stop generating arrivals after this simulated time.
+    """
+
+    def __init__(
+        self,
+        server: ThreadPoolServer,
+        tenant_id: str,
+        gap_sampler: GapSampler,
+        sampler: RequestSampler,
+        weight: float = 1.0,
+        start_time: float = 0.0,
+        until: Optional[float] = None,
+        limit: Optional[int] = None,
+    ) -> None:
+        super().__init__(server)
+        self.tenant_id = tenant_id
+        self._gap_sampler = gap_sampler
+        self._sampler = sampler
+        self._weight = float(weight)
+        self._start_time = float(start_time)
+        self._until = until
+        self._limit = limit
+
+    def start(self) -> None:
+        self.server.sim.at(self._start_time + max(0.0, self._gap_sampler()), self._fire)
+
+    def _fire(self) -> None:
+        if self._limit is not None and self.submitted >= self._limit:
+            return
+        api, cost = self._sampler()
+        self._submit(self.tenant_id, api, cost, self._weight)
+        next_time = self.server.sim.now + max(0.0, self._gap_sampler())
+        if self._until is None or next_time <= self._until:
+            self.server.sim.at(next_time, self._fire)

@@ -1,0 +1,189 @@
+"""Arrival processes: when a tenant's requests reach the server.
+
+The paper's tenants show three arrival shapes (Figure 4): stable rates,
+bursts that taper off, and on/off bursts with lulls; plus the
+"continuously backlogged" closed-loop tenants used throughout §6.  Each
+open-loop process can generate a full arrival-time sequence (for offline
+traces) and can report its mean rate (for utilization planning).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+__all__ = [
+    "ArrivalProcess",
+    "Backlogged",
+    "PoissonArrivals",
+    "DecayingBurstArrivals",
+    "OnOffArrivals",
+]
+
+
+class ArrivalProcess(ABC):
+    """Base class for arrival behaviours."""
+
+    @abstractmethod
+    def mean_rate(self) -> float:
+        """Long-run arrivals per second (``inf`` for backlogged)."""
+
+
+@dataclass
+class Backlogged(ArrivalProcess):
+    """Closed loop: keep ``window`` requests outstanding at all times.
+
+    This realizes the paper's "continuously backlogged" tenants; the
+    tenant submits a new request the instant one completes.
+    """
+
+    window: int = 4
+    start_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise WorkloadError(f"window must be >= 1, got {self.window}")
+
+    def mean_rate(self) -> float:
+        return math.inf
+
+
+class OpenLoopProcess(ArrivalProcess):
+    """Open-loop base: generates explicit arrival times."""
+
+    @abstractmethod
+    def arrival_times(
+        self, rng: np.random.Generator, duration: float
+    ) -> np.ndarray:
+        """Sorted arrival times in ``[0, duration)``."""
+
+
+@dataclass
+class PoissonArrivals(OpenLoopProcess):
+    """Homogeneous Poisson arrivals at ``rate`` requests/second.
+
+    Models the stable tenants (Figure 4a: T2's steady ~400 req/s).
+    """
+
+    rate: float
+    start_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise WorkloadError(f"rate must be positive, got {self.rate}")
+
+    def mean_rate(self) -> float:
+        return self.rate
+
+    def arrival_times(
+        self, rng: np.random.Generator, duration: float
+    ) -> np.ndarray:
+        span = duration - self.start_time
+        if span <= 0:
+            return np.empty(0)
+        expected = self.rate * span
+        # Draw gaps in slabs until the horizon is covered.
+        times = []
+        t = self.start_time
+        batch = max(16, int(expected * 1.2))
+        while t < duration:
+            gaps = rng.exponential(1.0 / self.rate, size=batch)
+            for gap in gaps:
+                t += gap
+                if t >= duration:
+                    break
+                times.append(t)
+        return np.array(times)
+
+
+@dataclass
+class DecayingBurstArrivals(OpenLoopProcess):
+    """A burst whose rate decays exponentially: ``rate(t) = r0 * exp(-t/tau)``.
+
+    Models Figure 4b: T3 "submits a large burst of requests that then
+    tapers off".  Implemented as an inhomogeneous Poisson process via
+    thinning.
+    """
+
+    peak_rate: float
+    tau: float
+    start_time: float = 0.0
+    floor_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.peak_rate <= 0 or self.tau <= 0:
+            raise WorkloadError("peak_rate and tau must be positive")
+        if self.floor_rate < 0 or self.floor_rate > self.peak_rate:
+            raise WorkloadError("need 0 <= floor_rate <= peak_rate")
+
+    def mean_rate(self) -> float:
+        # Long-run rate tends to the floor; report peak-weighted average
+        # over one tau for planning purposes.
+        return self.floor_rate + (self.peak_rate - self.floor_rate) * 0.63
+
+    def _rate_at(self, t: float) -> float:
+        decayed = self.peak_rate * math.exp(-(t - self.start_time) / self.tau)
+        return max(self.floor_rate, decayed)
+
+    def arrival_times(
+        self, rng: np.random.Generator, duration: float
+    ) -> np.ndarray:
+        times = []
+        t = self.start_time
+        lam_max = self.peak_rate
+        while t < duration:
+            t += rng.exponential(1.0 / lam_max)
+            if t >= duration:
+                break
+            if rng.random() <= self._rate_at(t) / lam_max:
+                times.append(t)
+        return np.array(times)
+
+
+@dataclass
+class OnOffArrivals(OpenLoopProcess):
+    """Alternating bursts and lulls (Figure 4c: T10's "bursts and lulls").
+
+    Exponentially distributed ON and OFF period lengths; Poisson arrivals
+    at ``burst_rate`` during ON periods, silence during OFF periods.
+    """
+
+    burst_rate: float
+    mean_on: float
+    mean_off: float
+    start_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if min(self.burst_rate, self.mean_on, self.mean_off) <= 0:
+            raise WorkloadError("burst_rate, mean_on, mean_off must be positive")
+
+    def mean_rate(self) -> float:
+        duty = self.mean_on / (self.mean_on + self.mean_off)
+        return self.burst_rate * duty
+
+    def arrival_times(
+        self, rng: np.random.Generator, duration: float
+    ) -> np.ndarray:
+        times = []
+        t = self.start_time
+        # Start in a burst: short observation windows then always contain
+        # ON activity (T10's Figure 4c window opens mid-burst).
+        on = True
+        while t < duration:
+            period = rng.exponential(self.mean_on if on else self.mean_off)
+            end = min(t + period, duration)
+            if on:
+                tick = t
+                while True:
+                    tick += rng.exponential(1.0 / self.burst_rate)
+                    if tick >= end:
+                        break
+                    times.append(tick)
+            t = end
+            on = not on
+        return np.array(times)

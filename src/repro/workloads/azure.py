@@ -1,0 +1,383 @@
+"""Azure-Storage-like generative workload model.
+
+The paper's evaluation replays production traces collected from 50 Azure
+Storage servers.  Those traces are proprietary; this module implements
+the closest synthetic equivalent (see DESIGN.md, Substitutions): a
+generative model whose marginals match everything the paper publishes
+about the workload --
+
+* **APIs** ``A .. K`` with cost distributions matching Figure 2a:
+  consistently cheap (A), widely varying (K), usually-cheap-sometimes-
+  expensive (G), with aggregate costs spanning ~4 orders of magnitude
+  (roughly 1e2 .. 1e7 anonymized units);
+* **named tenants** ``T1 .. T12`` matching Figure 2b / Figure 4 and the
+  §3.2 descriptions: T1 small & predictable, T2 stable rate, T3 tapering
+  burst over four APIs, T9 mixed small/large, T10 unstable with bursts
+  and lulls spanning >3 decades, T11 large & predictable, T12 large &
+  erratic;
+* **random tenants** whose per-(tenant, API) cost profiles reproduce the
+  Figure 3 scatter: each API has both predictable (low CoV) and
+  unpredictable (high CoV) tenants, because a tenant's per-API
+  distribution is much narrower than the API's population distribution
+  -- except for the unlucky unpredictable minority.
+
+All sampling is seeded; two calls with the same seed yield identical
+workloads, which the controlled scheduler comparisons rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..simulator.rng import make_rng
+from .arrivals import (
+    ArrivalProcess,
+    Backlogged,
+    DecayingBurstArrivals,
+    OnOffArrivals,
+    PoissonArrivals,
+)
+from .distributions import (
+    CostDistribution,
+    LogNormalCost,
+    LogUniformCost,
+    MixtureCost,
+)
+from .spec import TenantSpec
+
+__all__ = [
+    "API_NAMES",
+    "api_population_distribution",
+    "named_tenants",
+    "named_tenant",
+    "random_tenant",
+    "random_tenants",
+    "backlogged_variant",
+    "NAMED_TENANT_IDS",
+]
+
+#: The ten anonymized Azure Storage APIs of Figure 2a.
+API_NAMES = ("A", "B", "C", "D", "E", "F", "G", "H", "J", "K")
+
+#: Hard bounds of the anonymized cost units: Figure 2 shows ~1e2 at the
+#: bottom; the production experiment of §6.1.2 spans "250 to 5 million",
+#: which sets the ceiling (a 5e6 request runs 5 s on a 1e6 units/s thread).
+COST_FLOOR = 100.0
+COST_CEIL = 5.0e6
+
+# Population-level API profiles: (log10 median, log10 sigma across the
+# *population* of tenants, tail behaviour).  Tuned to the Figure 2a
+# violins: A tight and cheap, G bimodal, H wide, K spanning decades.
+_API_PROFILES: Dict[str, dict] = {
+    "A": {"median": 3.0e2, "spread": 0.15, "tenant_sigma": (0.05, 0.2)},
+    "B": {"median": 6.0e2, "spread": 0.3, "tenant_sigma": (0.05, 0.3)},
+    "C": {"median": 2.0e3, "spread": 0.4, "tenant_sigma": (0.1, 0.4)},
+    "D": {"median": 5.0e3, "spread": 0.5, "tenant_sigma": (0.1, 0.5)},
+    "E": {"median": 8.0e3, "spread": 0.6, "tenant_sigma": (0.1, 0.5)},
+    "F": {"median": 1.5e4, "spread": 0.5, "tenant_sigma": (0.1, 0.5)},
+    "G": {
+        "median": 1.5e3,
+        "spread": 0.3,
+        "tenant_sigma": (0.05, 0.4),
+        # "usually cheap but occasionally very expensive" (Figure 2a):
+        # a heavy secondary mode several decades up.
+        "tail": {"weight": 0.05, "median": 8.0e5, "spread": 0.35},
+    },
+    "H": {"median": 8.0e3, "spread": 0.8, "tenant_sigma": (0.15, 0.8)},
+    "J": {"median": 1.0e4, "spread": 0.5, "tenant_sigma": (0.1, 0.5)},
+    "K": {"median": 2.0e4, "spread": 1.0, "tenant_sigma": (0.2, 1.0)},
+}
+
+
+def api_population_distribution(api: str) -> CostDistribution:
+    """Population-level cost distribution of an API (Figure 2a violin):
+    what you see aggregating over *all* tenants using the API."""
+    profile = _API_PROFILES[api]
+    base = LogNormalCost(
+        profile["median"], profile["spread"], low=COST_FLOOR, high=COST_CEIL
+    )
+    tail = profile.get("tail")
+    if tail is None:
+        return base
+    expensive = LogNormalCost(
+        tail["median"], tail["spread"], low=COST_FLOOR, high=COST_CEIL
+    )
+    return MixtureCost([base, expensive], [1.0 - tail["weight"], tail["weight"]])
+
+
+def _tenant_api_distribution(
+    api: str,
+    rng: np.random.Generator,
+    predictable: bool,
+    median_override: Optional[float] = None,
+    sigma_override: Optional[float] = None,
+) -> CostDistribution:
+    """Cost distribution of one (tenant, API) pair.
+
+    Figure 3 (left): conditioning on the tenant collapses most of an
+    API's population spread -- each tenant draws its own median from the
+    population distribution and keeps a narrow personal sigma, unless it
+    is one of the unpredictable tenants, whose personal sigma approaches
+    the full population spread.
+    """
+    profile = _API_PROFILES[api]
+    if median_override is not None:
+        median = median_override
+    else:
+        # Tenant's personal median: log-normal around the API median.
+        offset = rng.normal(0.0, profile["spread"])
+        median = profile["median"] * 10.0**offset
+        median = min(max(median, COST_FLOOR), COST_CEIL)
+    sigma_low, sigma_high = profile["tenant_sigma"]
+    if sigma_override is not None:
+        sigma = sigma_override
+    elif predictable:
+        sigma = rng.uniform(sigma_low, sigma_low + 0.3 * (sigma_high - sigma_low))
+    else:
+        sigma = rng.uniform(
+            sigma_low + 0.6 * (sigma_high - sigma_low), sigma_high
+        )
+    base = LogNormalCost(median, sigma, low=COST_FLOOR, high=COST_CEIL)
+    tail = profile.get("tail")
+    if tail is not None and not predictable:
+        expensive = LogNormalCost(
+            tail["median"], tail["spread"], low=COST_FLOOR, high=COST_CEIL
+        )
+        return MixtureCost([base, expensive], [1.0 - tail["weight"], tail["weight"]])
+    return base
+
+
+# ---------------------------------------------------------------------------
+# Named tenants T1 .. T12 (Figure 2b, Figure 4, §3.2, §6)
+# ---------------------------------------------------------------------------
+
+NAMED_TENANT_IDS = tuple(f"T{i}" for i in range(1, 13))
+
+
+def _t(
+    tenant_id: str,
+    apis: Dict[str, CostDistribution],
+    arrivals: ArrivalProcess,
+    api_weights: Optional[Dict[str, float]] = None,
+) -> TenantSpec:
+    return TenantSpec(
+        tenant_id=tenant_id,
+        api_costs=apis,
+        api_weights=api_weights,
+        arrivals=arrivals,
+    )
+
+
+def named_tenant(tenant_id: str, seed: int = 0) -> TenantSpec:
+    """Build one of the paper's reference tenants ``T1`` .. ``T12``.
+
+    The profiles encode everything the paper states:
+
+    * **T1** -- "primarily small requests between 250 and 1000 in size"
+      (§6.1.2), highly predictable; the poster child for 2DFQ gains.
+    * **T2** -- "stable request rate, small requests, and little
+      variation in request cost" over APIs A and B (Figure 4a).
+    * **T3** -- "a large burst of requests that then tapers off, with
+      costs across four APIs [B, H, J, C] that vary by about 1.5 orders
+      of magnitude" (Figure 4b).
+    * **T4..T8** -- the predictable middle of Figure 2b, with medians
+      stepping up from small to large.
+    * **T9** -- "a mixture of small and large requests with a lot of
+      variation" (§3.1).
+    * **T10** -- "the most unpredictable tenant, with bursts and lulls
+      of requests, and costs that span more than three orders of
+      magnitude" over APIs G and H (Figure 4c).
+    * **T11** -- "large requests but also with little variation" (§3.1).
+    * **T12** -- large and erratic (the other tenant the paper lists as
+      seeing little benefit, §6.2.2).
+
+    Arrival processes are used when the tenant is driven open-loop; the
+    production experiments of §6 run T1..T12 continuously backlogged so
+    their lag/latency is comparable across experiments, matching the
+    role they play in the paper's figures.
+    """
+    if tenant_id == "T1":
+        return _t(
+            "T1",
+            {"A": LogNormalCost(500.0, 0.08, low=250.0, high=1000.0)},
+            PoissonArrivals(rate=100.0),
+        )
+    if tenant_id == "T2":
+        return _t(
+            "T2",
+            {
+                "A": LogNormalCost(400.0, 0.12, low=COST_FLOOR, high=5e3),
+                "B": LogNormalCost(1500.0, 0.15, low=COST_FLOOR, high=1e4),
+            },
+            PoissonArrivals(rate=60.0),
+            api_weights={"A": 0.7, "B": 0.3},
+        )
+    if tenant_id == "T3":
+        return _t(
+            "T3",
+            {
+                "B": LogNormalCost(700.0, 0.15, low=COST_FLOOR, high=COST_CEIL),
+                "H": LogNormalCost(9000.0, 0.25, low=COST_FLOOR, high=COST_CEIL),
+                "J": LogNormalCost(4000.0, 0.2, low=COST_FLOOR, high=COST_CEIL),
+                "C": LogNormalCost(1800.0, 0.2, low=COST_FLOOR, high=COST_CEIL),
+            },
+            DecayingBurstArrivals(peak_rate=120.0, tau=8.0, floor_rate=10.0),
+            api_weights={"B": 0.4, "H": 0.2, "J": 0.2, "C": 0.2},
+        )
+    if tenant_id == "T4":
+        return _t(
+            "T4",
+            {"A": LogNormalCost(350.0, 0.1, low=COST_FLOOR, high=COST_CEIL),
+             "C": LogNormalCost(1200.0, 0.15, low=COST_FLOOR, high=COST_CEIL)},
+            PoissonArrivals(rate=90.0),
+        )
+    if tenant_id == "T5":
+        return _t(
+            "T5",
+            {"C": LogNormalCost(2500.0, 0.15, low=COST_FLOOR, high=COST_CEIL)},
+            PoissonArrivals(rate=30.0),
+        )
+    if tenant_id == "T6":
+        return _t(
+            "T6",
+            {"D": LogNormalCost(6000.0, 0.25, low=COST_FLOOR, high=COST_CEIL),
+             "E": LogNormalCost(9000.0, 0.3, low=COST_FLOOR, high=COST_CEIL)},
+            PoissonArrivals(rate=10.0),
+        )
+    if tenant_id == "T7":
+        return _t(
+            "T7",
+            {"E": LogNormalCost(1.2e4, 0.3, low=COST_FLOOR, high=COST_CEIL),
+             "F": LogNormalCost(2.5e4, 0.3, low=COST_FLOOR, high=COST_CEIL)},
+            PoissonArrivals(rate=4.0),
+        )
+    if tenant_id == "T8":
+        return _t(
+            "T8",
+            {"F": LogNormalCost(4.0e4, 0.2, low=COST_FLOOR, high=COST_CEIL)},
+            PoissonArrivals(rate=1.5),
+        )
+    if tenant_id == "T9":
+        return _t(
+            "T9",
+            {
+                "A": LogNormalCost(400.0, 0.15, low=COST_FLOOR, high=COST_CEIL),
+                "K": LogNormalCost(1.5e5, 0.8, low=COST_FLOOR, high=COST_CEIL),
+            },
+            PoissonArrivals(rate=2.0),
+            api_weights={"A": 0.6, "K": 0.4},
+        )
+    if tenant_id == "T10":
+        return _t(
+            "T10",
+            {
+                "G": MixtureCost(
+                    [
+                        LogNormalCost(1.0e3, 0.35, low=COST_FLOOR, high=COST_CEIL),
+                        LogNormalCost(2.0e6, 0.4, low=COST_FLOOR, high=COST_CEIL),
+                    ],
+                    [0.85, 0.15],
+                ),
+                "H": LogNormalCost(2.0e4, 0.9, low=COST_FLOOR, high=COST_CEIL),
+            },
+            OnOffArrivals(burst_rate=60.0, mean_on=3.0, mean_off=2.5),
+            api_weights={"G": 0.6, "H": 0.4},
+        )
+    if tenant_id == "T11":
+        return _t(
+            "T11",
+            {"F": LogNormalCost(2.0e5, 0.1, low=COST_FLOOR, high=COST_CEIL)},
+            PoissonArrivals(rate=1.5),
+        )
+    if tenant_id == "T12":
+        return _t(
+            "T12",
+            {"K": LogUniformCost(1.0e4, 5.0e6)},
+            OnOffArrivals(burst_rate=3.0, mean_on=4.0, mean_off=3.0),
+        )
+    raise KeyError(f"unknown named tenant {tenant_id!r}")
+
+
+def named_tenants(seed: int = 0) -> List[TenantSpec]:
+    """All twelve reference tenants ``T1 .. T12``."""
+    return [named_tenant(tid, seed) for tid in NAMED_TENANT_IDS]
+
+
+# ---------------------------------------------------------------------------
+# Random tenant population ("250 randomly chosen tenants", §6.1.2)
+# ---------------------------------------------------------------------------
+
+def random_tenant(
+    index: int,
+    seed: int = 0,
+    unpredictable_fraction: float = 0.3,
+    rate_range: tuple[float, float] = (5.0, 150.0),
+) -> TenantSpec:
+    """Generate a plausible Azure-like tenant.
+
+    Each tenant uses 1-3 APIs.  With probability ``unpredictable_fraction``
+    the tenant is *unpredictable*: its per-API sigma approaches the API's
+    full population spread, reproducing the high-CoV points of Figure 3.
+    Rates are log-uniform over ``rate_range`` requests/second.
+    """
+    tenant_id = f"R{index}"
+    rng = make_rng(seed, "azure-tenant", tenant_id)
+    predictable = bool(rng.random() >= unpredictable_fraction)
+    api_count = int(rng.integers(1, 4))
+    apis = list(rng.choice(API_NAMES, size=api_count, replace=False))
+    api_costs = {
+        api: _tenant_api_distribution(api, rng, predictable) for api in apis
+    }
+    raw_weights = rng.dirichlet(np.ones(api_count))
+    api_weights = {api: float(w) for api, w in zip(apis, raw_weights)}
+    low, high = rate_range
+    rate = float(math.exp(rng.uniform(math.log(low), math.log(high))))
+    arrivals: ArrivalProcess
+    shape = rng.random()
+    if shape < 0.6:
+        arrivals = PoissonArrivals(rate=rate)
+    elif shape < 0.8:
+        arrivals = OnOffArrivals(
+            burst_rate=rate * 2.5, mean_on=rng.uniform(1.0, 5.0),
+            mean_off=rng.uniform(1.0, 5.0),
+        )
+    else:
+        arrivals = DecayingBurstArrivals(
+            peak_rate=rate * 3.0, tau=rng.uniform(3.0, 12.0),
+            floor_rate=rate * 0.2,
+        )
+    return TenantSpec(
+        tenant_id=tenant_id,
+        api_costs=api_costs,
+        api_weights=api_weights,
+        arrivals=arrivals,
+    )
+
+
+def random_tenants(
+    count: int,
+    seed: int = 0,
+    unpredictable_fraction: float = 0.3,
+    rate_range: tuple[float, float] = (5.0, 150.0),
+) -> List[TenantSpec]:
+    """A population of ``count`` random Azure-like tenants."""
+    return [
+        random_tenant(i, seed, unpredictable_fraction, rate_range)
+        for i in range(count)
+    ]
+
+
+def backlogged_variant(spec: TenantSpec, window: int = 4) -> TenantSpec:
+    """Rebuild a spec as a continuously backlogged (closed-loop) tenant,
+    keeping its cost profile -- used when the experiment harness needs
+    the tenant always competing (e.g. T1..T12 in §6)."""
+    return TenantSpec(
+        tenant_id=spec.tenant_id,
+        api_costs=spec.api_costs,
+        api_weights=spec.api_weights,
+        arrivals=Backlogged(window=window),
+        weight=spec.weight,
+    )

@@ -1,0 +1,122 @@
+"""Workload specification objects.
+
+A :class:`TenantSpec` describes one tenant's behaviour fully:
+
+* which APIs it calls and with what probability;
+* the cost distribution of each (tenant, API) pair -- per-tenant,
+  because the paper shows each API is used predictably by some tenants
+  and unpredictably by others (Figure 3);
+* its arrival behaviour: continuously backlogged (closed loop) or an
+  open-loop arrival process.
+
+Specs are pure data plus samplers; they are turned into simulator
+sources by :mod:`repro.workloads.build` and into offline traces by
+:mod:`repro.workloads.trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .arrivals import ArrivalProcess, Backlogged
+from .distributions import CostDistribution
+
+__all__ = ["TenantSpec"]
+
+
+@dataclass
+class TenantSpec:
+    """Complete description of one tenant's workload.
+
+    Parameters
+    ----------
+    tenant_id:
+        Flow identifier.
+    api_costs:
+        Mapping of API name to the cost distribution this tenant's calls
+        to that API follow.
+    api_weights:
+        Relative probability of each API; defaults to uniform over
+        ``api_costs``.
+    arrivals:
+        Arrival behaviour; :class:`~repro.workloads.arrivals.Backlogged`
+        for closed-loop tenants or any open-loop
+        :class:`~repro.workloads.arrivals.ArrivalProcess`.
+    weight:
+        Fair-share weight (``phi_f``); the paper evaluates equal weights.
+    """
+
+    tenant_id: str
+    api_costs: Dict[str, CostDistribution]
+    api_weights: Optional[Dict[str, float]] = None
+    arrivals: ArrivalProcess = field(default_factory=Backlogged)
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.api_costs:
+            raise WorkloadError(f"tenant {self.tenant_id} has no APIs")
+        if self.api_weights is not None:
+            missing = set(self.api_weights) - set(self.api_costs)
+            if missing:
+                raise WorkloadError(
+                    f"tenant {self.tenant_id}: weights for unknown APIs {missing}"
+                )
+        if self.weight <= 0:
+            raise WorkloadError(
+                f"tenant {self.tenant_id}: weight must be positive, got {self.weight}"
+            )
+
+    @property
+    def backlogged(self) -> bool:
+        return isinstance(self.arrivals, Backlogged)
+
+    def mean_cost(self) -> float:
+        """Mean request cost across the tenant's API mix."""
+        names, probs = self._api_mix()
+        return float(
+            sum(p * self.api_costs[name].mean() for name, p in zip(names, probs))
+        )
+
+    def request_sampler(
+        self, rng: np.random.Generator
+    ) -> Callable[[], Tuple[str, float]]:
+        """Build a ``() -> (api, cost)`` sampler bound to ``rng``."""
+        names, probs = self._api_mix()
+        costs = self.api_costs
+
+        if len(names) == 1:
+            only = names[0]
+            dist = costs[only]
+
+            def sample_single() -> Tuple[str, float]:
+                return only, dist.sample(rng)
+
+            return sample_single
+
+        cumulative = np.cumsum(probs)
+
+        def sample() -> Tuple[str, float]:
+            index = int(np.searchsorted(cumulative, rng.random(), side="right"))
+            index = min(index, len(names) - 1)
+            api = names[index]
+            return api, costs[api].sample(rng)
+
+        return sample
+
+    def _api_mix(self) -> Tuple[list, np.ndarray]:
+        names = sorted(self.api_costs)
+        if self.api_weights is None:
+            probs = np.full(len(names), 1.0 / len(names))
+        else:
+            raw = np.array([self.api_weights.get(name, 0.0) for name in names])
+            total = raw.sum()
+            if total <= 0:
+                raise WorkloadError(
+                    f"tenant {self.tenant_id}: api_weights sum to {total}"
+                )
+            probs = raw / total
+        return names, probs

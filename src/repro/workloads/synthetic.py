@@ -1,0 +1,101 @@
+"""Synthetic workloads used by the paper's controlled experiments.
+
+Two populations:
+
+* the **expensive-requests** workload of §6.1.1 / Figure 8: 100
+  continuously backlogged tenants sharing 16 threads of capacity 1000
+  units/s; ``n`` of them are *small* (costs ~ N(1, 0.1)) and ``100 - n``
+  are *expensive* (costs ~ N(1000, 100));
+* the **fixed-cost probe tenants** ``t1 .. t7`` of §6.1.2: backlogged
+  tenants with constant request costs ``2^8, 2^10, ..., 2^20`` (256 to
+  ~1 million), spanning the full cost range of the production workload.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .arrivals import Backlogged, PoissonArrivals
+from .distributions import FixedCost, NormalCost
+from .spec import TenantSpec
+
+__all__ = [
+    "small_tenant",
+    "expensive_tenant",
+    "expensive_requests_population",
+    "fixed_cost_tenants",
+    "FIXED_COST_IDS",
+    "FIXED_COSTS",
+]
+
+#: Probe tenants t1..t7 and their constant request costs (§6.1.2).
+FIXED_COST_IDS = tuple(f"t{i}" for i in range(1, 8))
+FIXED_COSTS = tuple(float(2 ** (8 + 2 * i)) for i in range(7))  # 2^8 .. 2^20
+
+
+def small_tenant(tenant_id: str, window: int = 4) -> TenantSpec:
+    """A backlogged tenant with ~unit-cost requests (N(1, 0.1))."""
+    return TenantSpec(
+        tenant_id=tenant_id,
+        api_costs={"small": NormalCost(1.0, 0.1, floor=0.01)},
+        arrivals=Backlogged(window=window),
+    )
+
+
+def expensive_tenant(tenant_id: str, window: int = 4) -> TenantSpec:
+    """A backlogged tenant with ~1000x requests (N(1000, 100))."""
+    return TenantSpec(
+        tenant_id=tenant_id,
+        api_costs={"large": NormalCost(1000.0, 100.0, floor=1.0)},
+        arrivals=Backlogged(window=window),
+    )
+
+
+def expensive_requests_population(
+    num_small: int, total: int = 100, window: int = 4
+) -> List[TenantSpec]:
+    """The Figure 8 population: ``num_small`` small tenants and
+    ``total - num_small`` expensive tenants, all backlogged.
+
+    Note the paper's x-axis in Figure 8c is the number of *expensive*
+    tenants ``n = total - num_small``.
+    """
+    if not 0 <= num_small <= total:
+        raise ValueError(f"need 0 <= num_small <= {total}, got {num_small}")
+    specs = [small_tenant(f"S{i}", window) for i in range(num_small)]
+    specs += [
+        expensive_tenant(f"E{i}", window) for i in range(total - num_small)
+    ]
+    return specs
+
+
+def fixed_cost_tenants(
+    window: int = 4,
+    mode: str = "backlogged",
+    demand_units: float = 6.4e4,
+) -> List[TenantSpec]:
+    """The probe tenants t1..t7 with fixed costs 2^8 .. 2^20 (§6.1.2).
+
+    ``mode="backlogged"`` keeps each probe continuously busy (closed
+    loop); ``mode="open-loop"`` gives each probe Poisson arrivals whose
+    aggregate demand is ``demand_units`` cost-units/second -- i.e. rate
+    ``demand_units / cost`` -- so every probe consumes the same modest
+    slice of capacity and its service lag directly reads how long the
+    scheduler makes an under-share tenant wait.
+    """
+    specs = []
+    for tid, cost in zip(FIXED_COST_IDS, FIXED_COSTS):
+        if mode == "backlogged":
+            arrivals: "Backlogged | PoissonArrivals" = Backlogged(window=window)
+        elif mode == "open-loop":
+            arrivals = PoissonArrivals(rate=max(demand_units / cost, 0.2))
+        else:
+            raise ValueError(f"unknown fixed-cost tenant mode {mode!r}")
+        specs.append(
+            TenantSpec(
+                tenant_id=tid,
+                api_costs={"fixed": FixedCost(cost)},
+                arrivals=arrivals,
+            )
+        )
+    return specs

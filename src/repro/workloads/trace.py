@@ -1,0 +1,250 @@
+"""Offline traces: generation, persistence, and transformation.
+
+A trace is a time-sorted sequence of :class:`TraceRecord` rows --
+``(time, tenant, api, cost)`` -- the same information the paper's
+production traces carry.  Traces are produced from open-loop tenant
+specs, can be saved/loaded as CSV (optionally gzipped), merged, rescaled,
+and *scrambled* into unpredictable variants (paper §6.2.1: unpredictable
+tenants are made "by sampling each request pseudo-randomly from across
+all production traces disregarding the originating server or account").
+"""
+
+from __future__ import annotations
+
+import csv
+import gzip
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..simulator.rng import make_rng
+from .arrivals import OpenLoopProcess
+from .spec import TenantSpec
+
+__all__ = [
+    "TraceRecord",
+    "generate_trace",
+    "merge_traces",
+    "scramble_trace",
+    "rescale_trace",
+    "thin_trace",
+    "chunk_trace",
+    "save_trace",
+    "load_trace",
+    "trace_statistics",
+]
+
+_HEADER = ("time", "tenant", "api", "cost")
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One request arrival in an offline trace."""
+
+    time: float
+    tenant: str
+    api: str
+    cost: float
+
+    def as_tuple(self) -> tuple[float, str, str, float]:
+        return (self.time, self.tenant, self.api, self.cost)
+
+
+def generate_trace(
+    specs: Sequence[TenantSpec],
+    duration: float,
+    seed: int = 0,
+) -> List[TraceRecord]:
+    """Generate a merged, time-sorted trace from open-loop tenant specs.
+
+    Backlogged (closed-loop) specs cannot be pre-materialized -- their
+    arrival times depend on the scheduler -- and raise
+    :class:`~repro.errors.WorkloadError`.
+    """
+    records: List[TraceRecord] = []
+    for spec in specs:
+        process = spec.arrivals
+        if not isinstance(process, OpenLoopProcess):
+            raise WorkloadError(
+                f"tenant {spec.tenant_id} is closed-loop; traces require "
+                "open-loop arrival processes"
+            )
+        arrival_rng = make_rng(seed, "arrivals", spec.tenant_id)
+        cost_rng = make_rng(seed, "costs", spec.tenant_id)
+        sampler = spec.request_sampler(cost_rng)
+        for time in process.arrival_times(arrival_rng, duration):
+            api, cost = sampler()
+            records.append(TraceRecord(float(time), spec.tenant_id, api, cost))
+    records.sort(key=lambda r: (r.time, r.tenant))
+    return records
+
+
+def merge_traces(*traces: Iterable[TraceRecord]) -> List[TraceRecord]:
+    """Merge traces into one time-sorted trace."""
+    merged: List[TraceRecord] = []
+    for trace in traces:
+        merged.extend(trace)
+    merged.sort(key=lambda r: (r.time, r.tenant))
+    return merged
+
+
+def scramble_trace(
+    trace: Sequence[TraceRecord],
+    tenants: Sequence[str],
+    seed: int = 0,
+) -> List[TraceRecord]:
+    """Make the given tenants *unpredictable* (paper §6.2.1).
+
+    Each selected tenant keeps its arrival times but has every request's
+    ``(api, cost)`` replaced by a pair sampled uniformly at random from
+    the whole trace, "disregarding the originating server or account".
+    The result "lack[s] predictability in API type and cost that is
+    common to real-world tenants".
+    """
+    if not trace:
+        return []
+    pool = [(r.api, r.cost) for r in trace]
+    rng = make_rng(seed, "scramble", *sorted(tenants))
+    selected = set(tenants)
+    out: List[TraceRecord] = []
+    indices = rng.integers(0, len(pool), size=len(trace))
+    for record, index in zip(trace, indices):
+        if record.tenant in selected:
+            api, cost = pool[int(index)]
+            out.append(TraceRecord(record.time, record.tenant, api, cost))
+        else:
+            out.append(record)
+    return out
+
+
+def rescale_trace(
+    trace: Sequence[TraceRecord], speed: float
+) -> List[TraceRecord]:
+    """Compress (speed > 1) or stretch (speed < 1) a trace in time."""
+    if speed <= 0:
+        raise WorkloadError(f"speed must be positive, got {speed}")
+    return [
+        TraceRecord(r.time / speed, r.tenant, r.api, r.cost) for r in trace
+    ]
+
+
+def thin_trace(
+    trace: Sequence[TraceRecord],
+    keep_fraction: float,
+    seed: int = 0,
+) -> List[TraceRecord]:
+    """Randomly keep each record with probability ``keep_fraction``.
+
+    Thinning scales a trace's aggregate demand without disturbing its
+    cost distributions or arrival shapes; the experiment harness uses it
+    to pin open-loop load to a target utilization so queues stay busy
+    but bounded (the paper "used ... traces ... to keep the server busy
+    throughout the experiments, but also ran experiments at lower
+    utilizations", §6).
+    """
+    if not 0.0 < keep_fraction <= 1.0:
+        raise WorkloadError(
+            f"keep_fraction must be in (0, 1], got {keep_fraction}"
+        )
+    if keep_fraction >= 1.0:
+        return list(trace)
+    rng = make_rng(seed, "thin")
+    keep = rng.random(len(trace)) < keep_fraction
+    return [record for record, k in zip(trace, keep) if k]
+
+
+def chunk_trace(
+    trace: Sequence[TraceRecord],
+    max_cost: float,
+    overhead: float = 0.0,
+) -> List[TraceRecord]:
+    """Split requests larger than ``max_cost`` into chunks (paper §7).
+
+    The paper discusses the alternative to 2DFQ of reducing cost
+    variation at the source: "after 100ms of work a request could pause
+    and re-enter the scheduler queue" (the approach of Google's web
+    search stack).  This transform models it at the workload level: a
+    request of cost ``c`` becomes ``ceil(c / max_cost)`` requests of
+    cost ``<= max_cost`` arriving at the same instant, each inflated by
+    ``overhead`` cost units -- the re-entry/cache-refill penalty the
+    paper warns about.  Per-tenant FIFO ordering preserves chunk order.
+    """
+    if max_cost <= 0:
+        raise WorkloadError(f"max_cost must be positive, got {max_cost}")
+    if overhead < 0:
+        raise WorkloadError(f"overhead must be >= 0, got {overhead}")
+    out: List[TraceRecord] = []
+    for record in trace:
+        remaining = record.cost
+        while remaining > 0:
+            piece = min(remaining, max_cost)
+            out.append(
+                TraceRecord(
+                    record.time, record.tenant, record.api, piece + overhead
+                )
+            )
+            remaining -= piece
+    return out
+
+
+def save_trace(
+    trace: Iterable[TraceRecord], path: Union[str, Path]
+) -> None:
+    """Write a trace as CSV; ``.gz`` suffix triggers gzip compression."""
+    path = Path(path)
+    raw = io.StringIO()
+    writer = csv.writer(raw)
+    writer.writerow(_HEADER)
+    for record in trace:
+        # repr() round-trips floats exactly (shortest representation).
+        writer.writerow(
+            (repr(record.time), record.tenant, record.api, repr(record.cost))
+        )
+    data = raw.getvalue().encode("utf-8")
+    if path.suffix == ".gz":
+        path.write_bytes(gzip.compress(data))
+    else:
+        path.write_bytes(data)
+
+
+def load_trace(path: Union[str, Path]) -> List[TraceRecord]:
+    """Read a trace written by :func:`save_trace`."""
+    path = Path(path)
+    if path.suffix == ".gz":
+        data = gzip.decompress(path.read_bytes()).decode("utf-8")
+    else:
+        data = path.read_text()
+    reader = csv.reader(io.StringIO(data))
+    header = next(reader, None)
+    if header is None or tuple(header) != _HEADER:
+        raise WorkloadError(f"{path}: not a trace file (header {header})")
+    records: List[TraceRecord] = []
+    for row in reader:
+        if len(row) != 4:
+            raise WorkloadError(f"{path}: malformed row {row}")
+        records.append(
+            TraceRecord(float(row[0]), row[1], row[2], float(row[3]))
+        )
+    return records
+
+
+def trace_statistics(trace: Sequence[TraceRecord]) -> dict:
+    """Aggregate statistics of a trace (used in workload validation)."""
+    if not trace:
+        return {"requests": 0}
+    costs = np.array([r.cost for r in trace])
+    return {
+        "requests": len(trace),
+        "tenants": len({r.tenant for r in trace}),
+        "apis": len({r.api for r in trace}),
+        "duration": trace[-1].time - trace[0].time,
+        "cost_min": float(costs.min()),
+        "cost_p50": float(np.percentile(costs, 50)),
+        "cost_p99": float(np.percentile(costs, 99)),
+        "cost_max": float(costs.max()),
+        "total_cost": float(costs.sum()),
+    }

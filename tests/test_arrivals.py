@@ -1,0 +1,101 @@
+"""Unit tests for arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.simulator.rng import make_rng
+from repro.workloads.arrivals import (
+    Backlogged,
+    DecayingBurstArrivals,
+    OnOffArrivals,
+    PoissonArrivals,
+)
+
+
+@pytest.fixture
+def rng():
+    return make_rng(7, "arrival-tests")
+
+
+class TestBacklogged:
+    def test_mean_rate_infinite(self):
+        assert Backlogged().mean_rate() == float("inf")
+
+    def test_window_validation(self):
+        with pytest.raises(WorkloadError):
+            Backlogged(window=0)
+
+
+class TestPoisson:
+    def test_rate_matches(self, rng):
+        times = PoissonArrivals(rate=100.0).arrival_times(rng, 20.0)
+        assert len(times) == pytest.approx(2000, rel=0.1)
+
+    def test_sorted_and_bounded(self, rng):
+        times = PoissonArrivals(rate=50.0).arrival_times(rng, 5.0)
+        assert (np.diff(times) >= 0).all()
+        assert times.min() >= 0.0
+        assert times.max() < 5.0
+
+    def test_start_time_offset(self, rng):
+        times = PoissonArrivals(rate=50.0, start_time=3.0).arrival_times(rng, 5.0)
+        assert times.min() >= 3.0
+
+    def test_empty_window(self, rng):
+        times = PoissonArrivals(rate=50.0, start_time=6.0).arrival_times(rng, 5.0)
+        assert len(times) == 0
+
+    def test_exponential_gaps(self, rng):
+        times = PoissonArrivals(rate=100.0).arrival_times(rng, 50.0)
+        gaps = np.diff(times)
+        # Memoryless: CV of exponential gaps is 1.
+        assert gaps.std() / gaps.mean() == pytest.approx(1.0, abs=0.1)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            PoissonArrivals(rate=0.0)
+
+
+class TestDecayingBurst:
+    def test_rate_decays(self, rng):
+        process = DecayingBurstArrivals(peak_rate=500.0, tau=2.0)
+        times = process.arrival_times(rng, 10.0)
+        early = (times < 2.0).sum()
+        late = ((times >= 8.0)).sum()
+        assert early > 4 * max(late, 1)
+
+    def test_floor_rate_persists(self, rng):
+        process = DecayingBurstArrivals(peak_rate=500.0, tau=0.5, floor_rate=50.0)
+        times = process.arrival_times(rng, 20.0)
+        tail = ((times >= 10.0) & (times < 20.0)).sum()
+        assert tail == pytest.approx(500, rel=0.25)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            DecayingBurstArrivals(peak_rate=0.0, tau=1.0)
+        with pytest.raises(WorkloadError):
+            DecayingBurstArrivals(peak_rate=10.0, tau=1.0, floor_rate=20.0)
+
+
+class TestOnOff:
+    def test_has_bursts_and_lulls(self, rng):
+        process = OnOffArrivals(burst_rate=200.0, mean_on=1.0, mean_off=1.0)
+        times = process.arrival_times(rng, 30.0)
+        # Bin into 100ms windows: both busy and silent windows exist.
+        bins = np.histogram(times, bins=np.arange(0.0, 30.0, 0.1))[0]
+        assert (bins == 0).sum() > 20
+        assert (bins >= 10).sum() > 20
+
+    def test_starts_in_burst(self, rng):
+        process = OnOffArrivals(burst_rate=100.0, mean_on=5.0, mean_off=5.0)
+        times = process.arrival_times(rng, 4.0)
+        assert len(times) > 0  # short windows always see the opening burst
+
+    def test_mean_rate_duty_cycle(self):
+        process = OnOffArrivals(burst_rate=100.0, mean_on=1.0, mean_off=3.0)
+        assert process.mean_rate() == pytest.approx(25.0)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            OnOffArrivals(burst_rate=0.0, mean_on=1.0, mean_off=1.0)

@@ -1,0 +1,54 @@
+"""Tests for request chunking (the paper's §7 alternative approach)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import TraceRecord, chunk_trace
+
+
+def record(cost, time=0.0, tenant="A", api="x"):
+    return TraceRecord(time, tenant, api, cost)
+
+
+class TestChunking:
+    def test_small_requests_untouched(self):
+        trace = [record(50.0), record(100.0)]
+        assert chunk_trace(trace, max_cost=100.0) == trace
+
+    def test_large_request_split_exactly(self):
+        out = chunk_trace([record(250.0)], max_cost=100.0)
+        assert [r.cost for r in out] == [100.0, 100.0, 50.0]
+        assert {r.time for r in out} == {0.0}
+        assert {r.tenant for r in out} == {"A"}
+
+    def test_total_cost_preserved_without_overhead(self):
+        trace = [record(c) for c in (1.0, 99.0, 1000.0, 12345.0)]
+        out = chunk_trace(trace, max_cost=64.0)
+        assert sum(r.cost for r in out) == pytest.approx(
+            sum(r.cost for r in trace)
+        )
+
+    def test_overhead_charged_per_chunk(self):
+        out = chunk_trace([record(200.0)], max_cost=100.0, overhead=5.0)
+        assert [r.cost for r in out] == [105.0, 105.0]
+
+    def test_max_chunk_bound(self):
+        out = chunk_trace([record(1e6)], max_cost=128.0)
+        assert max(r.cost for r in out) <= 128.0
+        assert len(out) == 7813  # ceil(1e6 / 128)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            chunk_trace([], max_cost=0.0)
+        with pytest.raises(WorkloadError):
+            chunk_trace([], max_cost=1.0, overhead=-1.0)
+
+    def test_chunking_reduces_cost_variation(self):
+        """The point of §7's alternative: after chunking, the cost range
+        collapses to ~1 decade regardless of the original spread."""
+        import numpy as np
+
+        trace = [record(10.0 ** k) for k in range(6)]  # 1 .. 1e5
+        out = chunk_trace(trace, max_cost=100.0)
+        costs = np.array([r.cost for r in out])
+        assert np.log10(costs.max() / costs.min()) <= 2.0

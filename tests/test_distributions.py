@@ -1,0 +1,139 @@
+"""Unit tests for cost distributions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulator.rng import make_rng
+from repro.workloads.distributions import (
+    FixedCost,
+    LogNormalCost,
+    LogUniformCost,
+    MixtureCost,
+    NormalCost,
+)
+
+
+@pytest.fixture
+def rng():
+    return make_rng(42, "dist-tests")
+
+
+class TestFixedCost:
+    def test_always_same(self, rng):
+        d = FixedCost(256.0)
+        assert all(d.sample(rng) == 256.0 for _ in range(5))
+        assert d.mean() == 256.0
+        assert (d.sample_many(rng, 10) == 256.0).all()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FixedCost(0.0)
+
+
+class TestNormalCost:
+    def test_moments(self, rng):
+        d = NormalCost(1000.0, 100.0)
+        samples = d.sample_many(rng, 4000)
+        assert samples.mean() == pytest.approx(1000.0, rel=0.02)
+        assert samples.std() == pytest.approx(100.0, rel=0.1)
+
+    def test_floor_truncation(self, rng):
+        d = NormalCost(1.0, 10.0, floor=0.5)
+        samples = d.sample_many(rng, 1000)
+        assert samples.min() >= 0.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NormalCost(-1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            NormalCost(1.0, -1.0)
+
+
+class TestLogNormalCost:
+    def test_median_parameterization(self, rng):
+        d = LogNormalCost(1000.0, 0.5)
+        samples = d.sample_many(rng, 5000)
+        assert np.median(samples) == pytest.approx(1000.0, rel=0.05)
+
+    def test_sigma_decades_controls_spread(self, rng):
+        tight = LogNormalCost(1000.0, 0.1).sample_many(rng, 3000)
+        wide = LogNormalCost(1000.0, 1.0).sample_many(rng, 3000)
+        assert np.log10(tight).std() == pytest.approx(0.1, rel=0.1)
+        assert np.log10(wide).std() == pytest.approx(1.0, rel=0.1)
+
+    def test_bounds_clip(self, rng):
+        d = LogNormalCost(1000.0, 2.0, low=100.0, high=1e6)
+        samples = d.sample_many(rng, 2000)
+        assert samples.min() >= 100.0
+        assert samples.max() <= 1e6
+        assert d.sample(rng) >= 100.0
+
+    def test_mean_formula(self):
+        d = LogNormalCost(1000.0, 0.3)
+        sigma = 0.3 * np.log(10.0)
+        assert d.mean() == pytest.approx(1000.0 * np.exp(sigma**2 / 2))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LogNormalCost(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            LogNormalCost(1.0, -1.0)
+        with pytest.raises(ConfigurationError):
+            LogNormalCost(1.0, 1.0, low=10.0, high=1.0)
+
+
+class TestLogUniformCost:
+    def test_bounds(self, rng):
+        d = LogUniformCost(10.0, 1000.0)
+        samples = d.sample_many(rng, 2000)
+        assert samples.min() >= 10.0
+        assert samples.max() <= 1000.0
+
+    def test_log_uniformity(self, rng):
+        d = LogUniformCost(10.0, 1000.0)
+        samples = np.log10(d.sample_many(rng, 5000))
+        # Each decade gets ~half the samples.
+        first_decade = ((samples >= 1.0) & (samples < 2.0)).mean()
+        assert first_decade == pytest.approx(0.5, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LogUniformCost(10.0, 5.0)
+        with pytest.raises(ConfigurationError):
+            LogUniformCost(0.0, 5.0)
+
+
+class TestMixtureCost:
+    def test_component_weights_respected(self, rng):
+        d = MixtureCost([FixedCost(1.0), FixedCost(1000.0)], [0.9, 0.1])
+        samples = d.sample_many(rng, 5000)
+        assert (samples == 1000.0).mean() == pytest.approx(0.1, abs=0.02)
+
+    def test_bimodal_shape_like_api_g(self, rng):
+        """The 'usually cheap, occasionally very expensive' shape of
+        API G (Figure 2a): p50 cheap, p99+ several decades higher."""
+        d = MixtureCost(
+            [LogNormalCost(1.5e3, 0.3), LogNormalCost(1.2e6, 0.4)], [0.93, 0.07]
+        )
+        samples = d.sample_many(rng, 8000)
+        assert np.median(samples) < 3e3
+        assert np.percentile(samples, 99.5) > 1e5
+
+    def test_mean_is_weighted(self):
+        d = MixtureCost([FixedCost(1.0), FixedCost(3.0)], [0.5, 0.5])
+        assert d.mean() == pytest.approx(2.0)
+
+    def test_scalar_sampling_matches(self, rng):
+        d = MixtureCost([FixedCost(1.0), FixedCost(2.0)], [0.5, 0.5])
+        values = {d.sample(rng) for _ in range(50)}
+        assert values <= {1.0, 2.0}
+        assert len(values) == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MixtureCost([], [])
+        with pytest.raises(ConfigurationError):
+            MixtureCost([FixedCost(1.0)], [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            MixtureCost([FixedCost(1.0)], [-1.0])

@@ -1,0 +1,71 @@
+"""Unit tests for the event heap."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.events import EventQueue
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.push(3.0, fired.append, "c")
+        q.push(1.0, fired.append, "a")
+        q.push(2.0, fired.append, "b")
+        while q:
+            handle = q.pop()
+            handle.fn(*handle.args)
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_among_simultaneous_events(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None)
+        second = q.push(1.0, lambda: None)
+        first = q.pop()
+        assert first.seq < second.seq
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(5.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert q.peek_time() == 2.0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+
+class TestCancellation:
+    def test_cancelled_events_skipped(self):
+        q = EventQueue()
+        h1 = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        q.cancel(h1)
+        assert len(q) == 1
+        assert q.peek_time() == 2.0
+        assert q.pop().time == 2.0
+
+    def test_double_cancel_is_idempotent(self):
+        q = EventQueue()
+        h = q.push(1.0, lambda: None)
+        q.cancel(h)
+        q.cancel(h)
+        assert len(q) == 0
+
+    def test_cancel_frees_references(self):
+        q = EventQueue()
+        payload = object()
+        h = q.push(1.0, lambda x: None, payload)
+        q.cancel(h)
+        assert h.args == ()
+        assert h.fn is None
+
+    def test_len_counts_live_events(self):
+        q = EventQueue()
+        handles = [q.push(float(i), lambda: None) for i in range(5)]
+        q.cancel(handles[2])
+        q.cancel(handles[4])
+        assert len(q) == 3
+        assert bool(q)

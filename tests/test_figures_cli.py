@@ -1,0 +1,29 @@
+"""Tests for the python -m repro.figures CLI (fast figures only)."""
+
+import pytest
+
+from repro.figures import FIGURES, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for fig in FIGURES:
+            assert fig in out
+
+    def test_unknown_figure(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["nope"])
+
+    def test_fig01_output(self, capsys):
+        assert main(["fig01"]) == 0
+        out = capsys.readouterr().out
+        assert "wfq" in out and "2dfq" in out
+        assert "W0 |" in out
+
+    def test_fig05_and_fig06(self, capsys):
+        assert main(["fig05", "fig06"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("=====") >= 2
+        assert "a1 c1 d1" in out  # the 2DFQ partitioned schedule

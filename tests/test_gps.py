@@ -1,0 +1,111 @@
+"""Unit tests for the fluid GPS reference server."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.simulator.gps import GPSReference
+
+
+class TestSingleFlow:
+    def test_full_capacity_to_lone_flow(self):
+        gps = GPSReference(capacity=10.0)
+        gps.arrive("A", 50.0, now=0.0)
+        gps.advance(2.0)
+        assert gps.service("A") == pytest.approx(20.0)
+        assert gps.backlog("A") == pytest.approx(30.0)
+
+    def test_flow_drains_and_freezes(self):
+        gps = GPSReference(capacity=10.0)
+        gps.arrive("A", 20.0, now=0.0)
+        gps.advance(5.0)  # drains at t=2
+        assert gps.service("A") == pytest.approx(20.0)
+        assert gps.backlog("A") == 0.0
+        assert gps.active_weight == 0.0
+
+    def test_unknown_flow_has_zero_service(self):
+        gps = GPSReference(capacity=1.0)
+        assert gps.service("nobody") == 0.0
+        assert gps.backlog("nobody") == 0.0
+
+
+class TestSharing:
+    def test_equal_split_between_two_flows(self):
+        gps = GPSReference(capacity=10.0)
+        gps.arrive("A", 100.0, now=0.0)
+        gps.arrive("B", 100.0, now=0.0)
+        gps.advance(4.0)
+        assert gps.service("A") == pytest.approx(20.0)
+        assert gps.service("B") == pytest.approx(20.0)
+
+    def test_weighted_split(self):
+        gps = GPSReference(capacity=12.0)
+        gps.arrive("A", 100.0, now=0.0, weight=2.0)
+        gps.arrive("B", 100.0, now=0.0, weight=1.0)
+        gps.advance(3.0)
+        assert gps.service("A") == pytest.approx(24.0)
+        assert gps.service("B") == pytest.approx(12.0)
+
+    def test_capacity_redistributes_after_drain(self):
+        gps = GPSReference(capacity=10.0)
+        gps.arrive("A", 10.0, now=0.0)   # drains at t=2 sharing 5/s
+        gps.arrive("B", 100.0, now=0.0)
+        gps.advance(4.0)
+        # B: 5/s for 2s, then 10/s for 2s = 30.
+        assert gps.service("A") == pytest.approx(10.0)
+        assert gps.service("B") == pytest.approx(30.0)
+
+    def test_late_arrival_joins_sharing(self):
+        gps = GPSReference(capacity=10.0)
+        gps.arrive("A", 100.0, now=0.0)
+        gps.advance(1.0)
+        assert gps.service("A") == pytest.approx(10.0)
+        gps.arrive("B", 100.0, now=1.0)
+        gps.advance(3.0)
+        assert gps.service("A") == pytest.approx(20.0)
+        assert gps.service("B") == pytest.approx(10.0)
+
+    def test_work_conserved_total(self):
+        gps = GPSReference(capacity=7.0)
+        gps.arrive("A", 30.0, now=0.0)
+        gps.arrive("B", 11.0, now=0.5)
+        gps.arrive("C", 8.0, now=1.5)
+        gps.advance(4.0)
+        total = sum(gps.service(f) for f in "ABC")
+        assert total == pytest.approx(7.0 * 4.0 - 7.0 * 0.0, rel=1e-9)
+
+    def test_multiple_arrivals_same_flow_extend_backlog(self):
+        gps = GPSReference(capacity=10.0)
+        gps.arrive("A", 10.0, now=0.0)
+        gps.arrive("A", 10.0, now=0.0)
+        gps.advance(1.0)
+        assert gps.backlog("A") == pytest.approx(10.0)
+
+
+class TestValidation:
+    def test_positive_capacity_required(self):
+        with pytest.raises(ConfigurationError):
+            GPSReference(0.0)
+
+    def test_negative_cost_rejected(self):
+        gps = GPSReference(1.0)
+        with pytest.raises(ConfigurationError):
+            gps.arrive("A", -1.0, now=0.0)
+
+    def test_zero_cost_arrival_is_noop(self):
+        gps = GPSReference(1.0)
+        gps.arrive("A", 0.0, now=0.0)
+        assert gps.active_weight == 0.0
+
+    def test_time_must_not_regress(self):
+        gps = GPSReference(1.0)
+        gps.advance(5.0)
+        with pytest.raises(SimulationError):
+            gps.advance(4.0)
+
+    def test_idle_time_freezes_virtual_time(self):
+        gps = GPSReference(10.0)
+        gps.arrive("A", 10.0, now=0.0)
+        gps.advance(10.0)
+        v = gps.virtual_time
+        gps.advance(20.0)
+        assert gps.virtual_time == v

@@ -1,0 +1,142 @@
+"""Tests for the production and unpredictable experiment modules
+(scaled far below bench size; these validate wiring and invariants,
+not figure shapes -- the benchmarks assert shapes)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.production import (
+    fixed_cost_lag_ranges,
+    lag_sigma_cdfs,
+    production_config,
+    production_specs,
+    production_trace,
+    run_production,
+)
+from repro.experiments.unpredictable import (
+    _scrambled_trace,
+    run_unpredictable,
+    unpredictable_config,
+)
+from repro.workloads.arrivals import Backlogged, OpenLoopProcess
+from repro.workloads.synthetic import FIXED_COST_IDS
+
+
+class TestProductionSpecs:
+    def test_population_composition(self):
+        specs = production_specs(num_random=10, include_fixed=True, seed=0)
+        ids = [s.tenant_id for s in specs]
+        assert ids[:12] == [f"T{i}" for i in range(1, 13)]
+        assert set(FIXED_COST_IDS) <= set(ids)
+        assert sum(1 for t in ids if t.startswith("R")) == 10
+
+    def test_named_modes(self):
+        open_specs = production_specs(num_random=0, named_mode="open-loop")
+        assert all(isinstance(s.arrivals, OpenLoopProcess) for s in open_specs)
+        closed = production_specs(num_random=0, named_mode="backlogged")
+        assert all(isinstance(s.arrivals, Backlogged) for s in closed)
+        with pytest.raises(ValueError):
+            production_specs(num_random=0, named_mode="bogus")
+
+    def test_fixed_probes_follow_named_mode(self):
+        open_specs = production_specs(
+            num_random=0, include_fixed=True, named_mode="open-loop"
+        )
+        probes = [s for s in open_specs if s.tenant_id in FIXED_COST_IDS]
+        assert all(isinstance(s.arrivals, OpenLoopProcess) for s in probes)
+
+
+class TestProductionTrace:
+    def test_thinning_targets_utilization(self):
+        config = production_config(duration=3.0)
+        specs = production_specs(num_random=60, seed=1)
+        for util in (0.4, 0.8):
+            trace = production_trace(specs, config, open_loop_utilization=util)
+            total = sum(r.cost for r in trace)
+            budget = util * config.capacity * config.duration
+            assert total <= budget * 1.35  # heavy-tailed, so loose upper bound
+
+    def test_named_tenants_never_thinned(self):
+        config = production_config(duration=3.0)
+        specs = production_specs(num_random=60, seed=1)
+        full = production_trace(specs, config, open_loop_utilization=100.0)
+        thin = production_trace(specs, config, open_loop_utilization=0.3)
+        named_full = [r for r in full if not r.tenant.startswith("R")]
+        named_thin = [r for r in thin if not r.tenant.startswith("R")]
+        assert named_full == named_thin
+
+    def test_trace_sorted(self):
+        config = production_config(duration=2.0)
+        specs = production_specs(num_random=20, seed=2)
+        trace = production_trace(specs, config)
+        times = [r.time for r in trace]
+        assert times == sorted(times)
+
+
+class TestProductionRun:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = production_config(duration=2.0, num_threads=8)
+        return run_production(
+            num_random=20, include_fixed=True, config=config,
+            named_mode="backlogged", open_loop_utilization=0.5,
+        )
+
+    def test_all_schedulers_ran(self, result):
+        assert set(result.scheduler_names) == {"wfq", "wf2q", "2dfq"}
+
+    def test_yardstick_tenants_served(self, result):
+        for name, run in result.runs.items():
+            assert run.service_series("T1").actual[-1] > 0, name
+            assert run.service_series("t1").actual[-1] > 0, name
+
+    def test_lag_cdfs_structure(self, result):
+        cdfs = lag_sigma_cdfs(result)
+        for name, cdf in cdfs.items():
+            assert cdf.values.size > 10
+            assert (np.diff(cdf.values) >= 0).all()
+            assert cdf.freq[-1] == pytest.approx(1.0)
+
+    def test_fixed_ranges_structure(self, result):
+        ranges = fixed_cost_lag_ranges(result)
+        for name, per_tenant in ranges.items():
+            for tenant, (p1, p99) in per_tenant.items():
+                assert p1 <= p99
+
+
+class TestUnpredictable:
+    def test_scramble_targets_only_random_tenants(self):
+        config = unpredictable_config(duration=2.0, num_threads=8)
+        specs = production_specs(num_random=20, seed=config.seed)
+        base = _scrambled_trace(specs, config, 0.0, 1.0, 1.0)
+        scrambled = _scrambled_trace(specs, config, 1.0, 1.0, 1.0)
+        named_base = [r for r in base if r.tenant.startswith("T")]
+        named_after = [r for r in scrambled if r.tenant.startswith("T")]
+        assert named_base == named_after
+        random_base = [r.cost for r in base if r.tenant.startswith("R")]
+        random_after = [r.cost for r in scrambled if r.tenant.startswith("R")]
+        assert random_base != random_after
+
+    def test_zero_fraction_is_identity(self):
+        config = unpredictable_config(duration=2.0, num_threads=8)
+        specs = production_specs(num_random=10, seed=config.seed)
+        a = _scrambled_trace(specs, config, 0.0, 1.0, 1.0)
+        b = _scrambled_trace(specs, config, 0.0, 1.0, 1.0)
+        assert a == b
+
+    def test_run_produces_latencies_for_yardsticks(self):
+        config = unpredictable_config(
+            duration=2.0, num_threads=8, schedulers=("2dfq-e",)
+        )
+        result = run_unpredictable(
+            0.5, num_random=15, config=config, named_mode="backlogged"
+        )
+        run = result["2dfq-e"]
+        assert run.latency_stats("T1").count > 0
+
+    def test_estimated_schedulers_configured(self):
+        config = unpredictable_config(alpha=0.9, initial_estimate=123.0)
+        for name in config.schedulers:
+            kwargs = config.kwargs_for(name)
+            assert kwargs["alpha"] == 0.9
+            assert kwargs["initial_estimate"] == 123.0

@@ -1,0 +1,169 @@
+"""Property-based tests on infrastructure invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.estimation import EMAEstimator, PessimisticEstimator
+from repro.metrics.gini import gini_index
+from repro.simulator.gps import GPSReference
+from repro.simulator.rng import make_rng, stable_hash
+
+from conftest import make_request
+
+cost_lists = st.lists(
+    st.floats(min_value=0.01, max_value=1e6, allow_nan=False), min_size=1, max_size=40
+)
+
+
+class TestGPSProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        arrivals=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=10.0),   # time
+                st.sampled_from(["A", "B", "C"]),            # flow
+                st.floats(min_value=0.01, max_value=50.0),   # cost
+            ),
+            min_size=1,
+            max_size=25,
+        ),
+        capacity=st.floats(min_value=0.5, max_value=20.0),
+    )
+    def test_conservation_and_bounds(self, arrivals, capacity):
+        """GPS never serves more than arrived per flow, nor more than
+        capacity * time in total, and is work conserving while
+        backlogged."""
+        gps = GPSReference(capacity)
+        arrivals = sorted(arrivals, key=lambda a: a[0])
+        arrived: dict = {}
+        for time, flow, cost in arrivals:
+            gps.arrive(flow, cost, now=time)
+            arrived[flow] = arrived.get(flow, 0.0) + cost
+        horizon = arrivals[-1][0] + 1.0
+        gps.advance(horizon)
+        total_served = 0.0
+        for flow, total in arrived.items():
+            served = gps.service(flow)
+            assert -1e-9 <= served <= total + 1e-6
+            total_served += served
+        assert total_served <= capacity * horizon + 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(costs=st.lists(st.floats(min_value=0.1, max_value=10.0),
+                          min_size=2, max_size=10))
+    def test_equal_backlogged_flows_get_equal_service(self, costs):
+        gps = GPSReference(5.0)
+        for i, cost in enumerate(costs):
+            gps.arrive(f"F{i}", cost + 100.0, now=0.0)  # all stay backlogged
+        gps.advance(3.0)
+        services = [gps.service(f"F{i}") for i in range(len(costs))]
+        assert max(services) - min(services) < 1e-6
+
+
+class TestEstimatorProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(observations=cost_lists)
+    def test_pessimistic_is_decayed_maximum(self, observations):
+        """The pessimistic estimate equals the maximum over all past
+        observations of ``alpha^age * cost`` -- the exact closed form of
+        Figure 7's update rule."""
+        alpha = 0.9
+        pess = PessimisticEstimator(alpha=alpha, initial_estimate=1.0)
+        r = make_request("T", 1.0, api="G")
+        for cost in observations:
+            pess.observe(r, cost)
+        n = len(observations)
+        expected = max(
+            alpha ** (n - 1 - i) * cost for i, cost in enumerate(observations)
+        )
+        assert pess.estimate(r) == pytest.approx(expected, rel=1e-9)
+
+    def test_pessimistic_exceeds_ema_for_bimodal_tenants(self):
+        """For the unpredictable tenants that matter (occasional huge
+        requests among cheap ones), pessimism vastly exceeds the EMA --
+        that gap is what isolates them under 2DFQ^E."""
+        pess = PessimisticEstimator(alpha=0.99, initial_estimate=1.0)
+        ema = EMAEstimator(alpha=0.99, initial_estimate=1.0)
+        r = make_request("T10", 1.0, api="G")
+        for i in range(100):
+            cost = 1.0e6 if i % 20 == 10 else 1.0e3
+            pess.observe(r, cost)
+            ema.observe(r, cost)
+        assert pess.estimate(r) > 10 * ema.estimate(r)
+
+    @settings(max_examples=50, deadline=None)
+    @given(observations=cost_lists)
+    def test_pessimistic_bounded_by_running_max(self, observations):
+        pess = PessimisticEstimator(alpha=0.9)
+        r = make_request("T", 1.0, api="G")
+        running_max = 0.0
+        for cost in observations:
+            running_max = max(running_max, cost)
+            pess.observe(r, cost)
+            estimate = pess.estimate(r)
+            assert estimate <= running_max + 1e-9
+            assert estimate >= cost * 0.9 - 1e-9  # never decays below alpha*latest
+
+    @settings(max_examples=50, deadline=None)
+    @given(observations=cost_lists)
+    def test_ema_stays_within_observed_hull(self, observations):
+        ema = EMAEstimator(alpha=0.5)
+        r = make_request("T", 1.0, api="G")
+        for cost in observations:
+            ema.observe(r, cost)
+        low, high = min(observations), max(observations)
+        assert low - 1e-9 <= ema.estimate(r) <= high + 1e-9
+
+
+class TestGiniProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(st.floats(min_value=0.0, max_value=1e6),
+                           min_size=1, max_size=50))
+    def test_range_and_translation(self, values):
+        g = gini_index(values)
+        assert 0.0 <= g <= 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(value=st.floats(min_value=0.1, max_value=100.0),
+           n=st.integers(min_value=1, max_value=30))
+    def test_equal_values_are_perfectly_fair(self, value, n):
+        assert gini_index([value] * n) == pytest.approx(0.0, abs=1e-12)
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(st.floats(min_value=0.0, max_value=1e3),
+                           min_size=2, max_size=30),
+           scale=st.floats(min_value=0.01, max_value=100.0))
+    def test_scale_invariance(self, values, scale):
+        if sum(values) <= 0:
+            return
+        a = gini_index(values)
+        b = gini_index([v * scale for v in values])
+        assert a == pytest.approx(b, abs=1e-9)
+
+    def test_extreme_concentration(self):
+        # One tenant hoarding all service approaches (n-1)/n.
+        g = gini_index([0.0] * 9 + [100.0])
+        assert g == pytest.approx(0.9, abs=1e-9)
+
+
+class TestRNGProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31),
+           key=st.text(min_size=1, max_size=10))
+    def test_determinism(self, seed, key):
+        a = make_rng(seed, key)
+        b = make_rng(seed, key)
+        assert a.random() == b.random()
+
+    def test_stream_independence(self):
+        a = make_rng(7, "tenant", "T1")
+        b = make_rng(7, "tenant", "T2")
+        assert a.random() != b.random()
+
+    def test_stable_hash_is_process_stable(self):
+        # Known CRC32 value: must never change across runs/versions.
+        assert stable_hash("tenant", "T1") == stable_hash("tenant", "T1")
+        assert stable_hash("a") != stable_hash("b")

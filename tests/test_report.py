@@ -1,0 +1,65 @@
+"""Additional tests for report rendering and the build helpers."""
+
+import pytest
+
+from repro.core import make_scheduler
+from repro.experiments.report import format_table, sparkline
+from repro.simulator import Simulation, ThreadPoolServer
+from repro.workloads import TraceRecord, attach_trace
+
+
+class TestFormatTable:
+    def test_precision_parameter(self):
+        text = format_table(["x"], [[3.14159265]], precision=2)
+        assert "3.1" in text and "3.1415" not in text
+
+    def test_column_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        # All rows share the same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_mixed_types(self):
+        text = format_table(["a", "b"], [[1, "x"], [2.5, None]])
+        assert "None" in text and "2.5" in text
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        from repro.experiments.report import _SPARK_CHARS
+
+        line = sparkline(list(range(10)))
+        levels = [_SPARK_CHARS.index(c) for c in line]
+        assert levels == sorted(levels)
+
+    def test_single_value(self):
+        assert len(sparkline([42.0])) == 1
+
+
+class TestAttachTrace:
+    def test_replays_and_weights(self):
+        sim = Simulation()
+        scheduler = make_scheduler("wfq", num_threads=1, thread_rate=10.0)
+        server = ThreadPoolServer(
+            sim, scheduler, num_threads=1, rate=10.0, refresh_interval=None
+        )
+        weights = []
+        server.on_submit(lambda r: weights.append(r.weight))
+        trace = [TraceRecord(0.1, "A", "x", 1.0), TraceRecord(0.2, "B", "y", 2.0)]
+        source = attach_trace(server, trace, weight=2.5)
+        sim.run()
+        assert source.submitted == 2
+        assert weights == [2.5, 2.5]
+        assert server.completed_requests == 2
+
+    def test_speed_applies(self):
+        sim = Simulation()
+        scheduler = make_scheduler("wfq", num_threads=1, thread_rate=100.0)
+        server = ThreadPoolServer(
+            sim, scheduler, num_threads=1, rate=100.0, refresh_interval=None
+        )
+        times = []
+        server.on_submit(lambda r: times.append(sim.now))
+        attach_trace(server, [TraceRecord(4.0, "A", "x", 1.0)], speed=4.0)
+        sim.run()
+        assert times == [pytest.approx(1.0)]

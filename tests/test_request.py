@@ -1,0 +1,59 @@
+"""Unit tests for the Request model."""
+
+import pytest
+
+from repro.core.request import Request, RequestPhase
+
+from conftest import make_request
+
+
+class TestRequestBasics:
+    def test_defaults(self):
+        r = Request(tenant_id="A", cost=2.0)
+        assert r.tenant_id == "A"
+        assert r.cost == 2.0
+        assert r.api == "default"
+        assert r.weight == 1.0
+        assert r.phase == RequestPhase.QUEUED
+        assert r.thread_id == -1
+
+    def test_seqnos_monotonic(self):
+        a, b, c = (make_request() for _ in range(3))
+        assert a.seqno < b.seqno < c.seqno
+
+    def test_key_groups_by_tenant_and_api(self):
+        r = make_request(tenant="T1", api="G")
+        assert r.key == ("T1", "G")
+
+    def test_repr_mentions_tenant_and_api(self):
+        r = make_request(tenant="T9", api="K", cost=123.0)
+        text = repr(r)
+        assert "T9" in text and "K" in text and "123" in text
+
+
+class TestRequestTimings:
+    def test_latency_after_completion(self):
+        r = make_request()
+        r.arrival_time = 1.0
+        r.dispatch_time = 2.5
+        r.completion_time = 4.0
+        assert r.latency == pytest.approx(3.0)
+        assert r.queueing_delay == pytest.approx(1.5)
+
+    def test_latency_before_completion_raises(self):
+        r = make_request()
+        r.arrival_time = 1.0
+        with pytest.raises(ValueError):
+            _ = r.latency
+
+    def test_queueing_delay_before_dispatch_raises(self):
+        r = make_request()
+        r.arrival_time = 1.0
+        with pytest.raises(ValueError):
+            _ = r.queueing_delay
+
+    def test_latency_before_arrival_raises(self):
+        r = make_request()
+        r.completion_time = 5.0
+        with pytest.raises(ValueError):
+            _ = r.latency

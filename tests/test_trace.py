@@ -1,0 +1,176 @@
+"""Unit tests for trace generation, persistence, and transformation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    Backlogged,
+    PoissonArrivals,
+    TenantSpec,
+    FixedCost,
+    LogNormalCost,
+)
+from repro.workloads.trace import (
+    TraceRecord,
+    generate_trace,
+    load_trace,
+    merge_traces,
+    rescale_trace,
+    save_trace,
+    scramble_trace,
+    thin_trace,
+    trace_statistics,
+)
+
+
+def spec(tenant="A", rate=50.0, cost=10.0):
+    return TenantSpec(
+        tenant_id=tenant,
+        api_costs={"x": FixedCost(cost)},
+        arrivals=PoissonArrivals(rate=rate),
+    )
+
+
+class TestGeneration:
+    def test_sorted_by_time(self):
+        trace = generate_trace([spec("A"), spec("B")], duration=5.0, seed=1)
+        times = [r.time for r in trace]
+        assert times == sorted(times)
+
+    def test_deterministic_per_seed(self):
+        a = generate_trace([spec("A")], duration=5.0, seed=3)
+        b = generate_trace([spec("A")], duration=5.0, seed=3)
+        assert a == b
+        c = generate_trace([spec("A")], duration=5.0, seed=4)
+        assert a != c
+
+    def test_tenant_isolation_from_population_changes(self):
+        """Adding a tenant must not perturb another tenant's stream."""
+        alone = [r for r in generate_trace([spec("A")], 5.0, seed=3)]
+        together = [
+            r for r in generate_trace([spec("A"), spec("B")], 5.0, seed=3)
+            if r.tenant == "A"
+        ]
+        assert alone == together
+
+    def test_backlogged_specs_rejected(self):
+        closed = TenantSpec(
+            tenant_id="C", api_costs={"x": FixedCost(1.0)}, arrivals=Backlogged()
+        )
+        with pytest.raises(WorkloadError):
+            generate_trace([closed], duration=1.0)
+
+
+class TestTransforms:
+    def _trace(self):
+        return generate_trace(
+            [spec("A", cost=10.0), spec("B", cost=1000.0)], duration=5.0, seed=2
+        )
+
+    def test_merge_sorts(self):
+        t1 = self._trace()
+        t2 = generate_trace([spec("C")], duration=5.0, seed=5)
+        merged = merge_traces(t1, t2)
+        assert len(merged) == len(t1) + len(t2)
+        times = [r.time for r in merged]
+        assert times == sorted(times)
+
+    def test_rescale_speed(self):
+        trace = self._trace()
+        fast = rescale_trace(trace, speed=2.0)
+        assert fast[-1].time == pytest.approx(trace[-1].time / 2.0)
+        with pytest.raises(WorkloadError):
+            rescale_trace(trace, speed=0.0)
+
+    def test_thin_keeps_fraction(self):
+        trace = self._trace()
+        thinned = thin_trace(trace, 0.5, seed=0)
+        assert len(thinned) == pytest.approx(len(trace) * 0.5, rel=0.2)
+        assert set(thinned) <= set(trace)
+
+    def test_thin_full_keep(self):
+        trace = self._trace()
+        assert thin_trace(trace, 1.0) == list(trace)
+        with pytest.raises(WorkloadError):
+            thin_trace(trace, 0.0)
+
+    def test_scramble_preserves_arrivals_and_pool(self):
+        trace = self._trace()
+        scrambled = scramble_trace(trace, ["A"], seed=1)
+        assert len(scrambled) == len(trace)
+        # Arrival times and tenants unchanged.
+        assert [(r.time, r.tenant) for r in scrambled] == [
+            (r.time, r.tenant) for r in trace
+        ]
+        # B's records untouched.
+        b_original = [r for r in trace if r.tenant == "B"]
+        b_after = [r for r in scrambled if r.tenant == "B"]
+        assert b_original == b_after
+        # A's costs now sampled from the pooled (10, 1000) mixture.
+        a_costs = {r.cost for r in scrambled if r.tenant == "A"}
+        assert 1000.0 in a_costs, "scrambled tenant never drew a pooled cost"
+
+    def test_scramble_empty(self):
+        assert scramble_trace([], ["A"]) == []
+
+    def test_scramble_makes_tenant_unpredictable(self):
+        """§6.2.1: the scrambled tenant loses its cost predictability."""
+        stable = TenantSpec(
+            tenant_id="S",
+            api_costs={"x": FixedCost(10.0)},
+            arrivals=PoissonArrivals(rate=200.0),
+        )
+        wild = TenantSpec(
+            tenant_id="W",
+            api_costs={"k": LogNormalCost(1e4, 1.0)},
+            arrivals=PoissonArrivals(rate=200.0),
+        )
+        trace = generate_trace([stable, wild], duration=5.0, seed=7)
+        scrambled = scramble_trace(trace, ["S"], seed=7)
+        s_costs = np.array([r.cost for r in scrambled if r.tenant == "S"])
+        assert s_costs.std() / s_costs.mean() > 1.0
+
+
+class TestPersistence:
+    def test_roundtrip_csv(self, tmp_path):
+        trace = generate_trace([spec("A"), spec("B", cost=7.5)], 3.0, seed=1)
+        path = tmp_path / "trace.csv"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded == trace
+
+    def test_roundtrip_gzip(self, tmp_path):
+        trace = generate_trace([spec("A")], 3.0, seed=1)
+        path = tmp_path / "trace.csv.gz"
+        save_trace(trace, path)
+        assert load_trace(path) == trace
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,tenant,api,cost\n1.0,A,x\n")
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+
+class TestStatistics:
+    def test_empty(self):
+        assert trace_statistics([]) == {"requests": 0}
+
+    def test_summary_fields(self):
+        trace = [
+            TraceRecord(0.0, "A", "x", 10.0),
+            TraceRecord(1.0, "B", "y", 1000.0),
+        ]
+        stats = trace_statistics(trace)
+        assert stats["requests"] == 2
+        assert stats["tenants"] == 2
+        assert stats["apis"] == 2
+        assert stats["duration"] == 1.0
+        assert stats["total_cost"] == 1010.0

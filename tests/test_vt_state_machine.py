@@ -1,0 +1,118 @@
+"""State-machine edge cases of the virtual-time scheduler framework."""
+
+import pytest
+
+from repro.core import WFQScheduler, TwoDFQScheduler
+from repro.errors import ReproError, SchedulerError
+
+from conftest import make_request
+
+
+class TestErrorPaths:
+    def test_complete_unknown_tenant_rejected(self):
+        s = WFQScheduler(num_threads=1)
+        ghost = make_request("ghost", 1.0)
+        with pytest.raises(SchedulerError):
+            s.complete(ghost, 1.0, 0.0)
+
+    def test_complete_idle_tenant_rejected(self):
+        s = WFQScheduler(num_threads=1)
+        r = make_request("A", 1.0)
+        s.enqueue(r, 0.0)
+        out = s.dequeue(0, 0.0)
+        s.complete(out, 1.0, 1.0)
+        with pytest.raises(SchedulerError):
+            s.complete(out, 1.0, 2.0)  # double completion
+
+    def test_errors_share_base_class(self):
+        assert issubclass(SchedulerError, ReproError)
+
+
+class TestActivationLifecycle:
+    def test_tenant_active_while_running_even_with_empty_queue(self):
+        s = WFQScheduler(num_threads=1)
+        s.enqueue(make_request("A", 4.0), 0.0)
+        out = s.dequeue(0, 0.0)
+        state = s.tenant_state("A")
+        assert not state.backlogged
+        assert state.active  # still receiving virtual-clock share
+        s.complete(out, 4.0, 4.0)
+        assert not state.active
+
+    def test_idle_tenant_fast_forwards_start_tag(self):
+        """Figure 7 line 4: a returning tenant's start tag is lifted to
+        the current virtual time, forgiving its idle period."""
+        s = WFQScheduler(num_threads=1, thread_rate=1.0)
+        s.enqueue(make_request("A", 1.0), 0.0)
+        s.enqueue(make_request("B", 1.0), 0.0)
+        a = s.dequeue(0, 0.0)
+        s.complete(a, 1.0, 1.0)
+        b = s.dequeue(0, 1.0)
+        s.complete(b, 1.0, 2.0)
+        # Both idle now; virtual time stalled.  B returns much later.
+        s.enqueue(make_request("B", 1.0), 10.0)
+        state_b = s.tenant_state("B")
+        # S_B = max(old S_B, v(10)); v stalled at the old value, so the
+        # tag does not regress and B is immediately eligible.
+        assert state_b.start_tag >= 1.0
+        assert s.dequeue(0, 10.0).tenant_id == "B"
+
+    def test_virtual_clock_weight_matches_active_tenants(self):
+        s = TwoDFQScheduler(num_threads=2)
+        for tenant in ("A", "B", "C"):
+            s.enqueue(make_request(tenant, 1.0), 0.0)
+        assert s.virtual_clock.active_weight == pytest.approx(3.0)
+        out = [s.dequeue(i, 0.0) for i in range(2)]
+        # Dequeued tenants remain active while running.
+        assert s.virtual_clock.active_weight == pytest.approx(3.0)
+        for request in out:
+            s.complete(request, 1.0, 1.0)
+        # Two tenants drained fully; one still backlogged.
+        assert s.virtual_clock.active_weight == pytest.approx(1.0)
+
+    def test_weighted_tenant_charged_proportionally(self):
+        s = WFQScheduler(num_threads=1)
+        heavy = make_request("H", 10.0, weight=2.0)
+        light = make_request("L", 10.0, weight=1.0)
+        s.enqueue(heavy, 0.0)
+        s.enqueue(light, 0.0)
+        s.dequeue(0, 0.0)
+        s.dequeue(0, 0.0)
+        assert s.tenant_state("H").start_tag == pytest.approx(5.0)
+        assert s.tenant_state("L").start_tag == pytest.approx(10.0)
+
+    def test_weighted_fair_sharing_two_to_one(self):
+        """A weight-2 tenant receives twice the service of a weight-1
+        tenant over a long horizon."""
+        import heapq
+
+        s = WFQScheduler(num_threads=2)
+        served = {"H": 0.0, "L": 0.0}
+        weights = {"H": 2.0, "L": 1.0}
+        for tenant, weight in weights.items():
+            for _ in range(2):
+                s.enqueue(make_request(tenant, 5.0, weight=weight), 0.0)
+        free = [(0.0, i) for i in range(2)]
+        heapq.heapify(free)
+        completions: list = []
+        horizon = 600.0
+        while free:
+            now, thread = heapq.heappop(free)
+            if now >= horizon:
+                continue
+            while completions and completions[0][0] <= now:
+                end, _, done = heapq.heappop(completions)
+                s.complete(done, done.cost, end)
+            request = s.dequeue(thread, now)
+            end = now + request.cost
+            if end <= horizon:
+                served[request.tenant_id] += request.cost
+            s.enqueue(
+                make_request(
+                    request.tenant_id, 5.0, weight=weights[request.tenant_id]
+                ),
+                now,
+            )
+            heapq.heappush(completions, (end, request.seqno, request))
+            heapq.heappush(free, (end, thread))
+        assert served["H"] / served["L"] == pytest.approx(2.0, rel=0.1)
