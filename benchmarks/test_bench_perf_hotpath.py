@@ -1,0 +1,51 @@
+"""Perf-regression harness: scheduler hot-path dequeue throughput.
+
+Not a paper figure -- this benchmark tracks the simulator's own speed.
+It measures full dispatch cycles (dequeue + complete + enqueue) per
+wallclock second with N = 10 / 100 / 1000 tenants continuously
+backlogged, for every virtual-time scheduler, in both selection modes:
+the reference O(N) linear scans (``indexed=False``) and the O(log N)
+selection index that production runs use by default.
+
+The committed deliverable is ``benchmarks/results/BENCH_schedulers.json``
+-- the requests/sec trajectory tracked from PR to PR.  The assertion
+encodes this PR's acceptance bar: at 1000 backlogged tenants the index
+must buy at least a 2x dequeue-throughput speedup for 2DFQ and WF2Q.
+
+Scale down for smoke runs with ``REPRO_BENCH_OPS`` (dispatches per
+timing cell, default ~500-3000 depending on N).
+"""
+
+import os
+
+from repro.perf import format_results, run_hotpath_suite, write_results
+
+from conftest import RESULTS_DIR, emit, once
+
+#: Where the perf trajectory lives; committed alongside the figure text.
+BENCH_JSON = RESULTS_DIR / "BENCH_schedulers.json"
+
+
+def test_bench_perf_hotpath(benchmark, capsys):
+    ops_env = int(os.environ.get("REPRO_BENCH_OPS", "0"))
+    payload = once(
+        benchmark,
+        lambda: run_hotpath_suite(ops=ops_env or None),
+    )
+    write_results(payload, BENCH_JSON)
+    emit(
+        capsys,
+        "BENCH: scheduler hot-path dequeue throughput",
+        format_results(payload)
+        + f"\n\nfull results -> {BENCH_JSON.relative_to(RESULTS_DIR.parent.parent)}",
+    )
+    rows = {(r["scheduler"], r["tenants"]): r for r in payload["results"]}
+    # Acceptance bar: the index must hold >= 2x at the 1000-tenant
+    # backlog for the paper's contribution and its closest baseline.
+    for name in ("2dfq", "wf2q"):
+        row = rows[(name, 1000)]
+        assert row["speedup"] >= 2.0, (
+            f"{name} indexed selection regressed below 2x at 1000 tenants: {row}"
+        )
+    # Sanity: every cell actually measured work.
+    assert all(r["indexed_rps"] > 0 and r["linear_rps"] > 0 for r in rows.values())

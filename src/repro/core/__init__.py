@@ -16,6 +16,7 @@ from .registry import SCHEDULER_CLASSES, make_scheduler, scheduler_names
 from .request import Request, RequestPhase
 from .round_robin import RoundRobinScheduler
 from .scheduler import MIN_COST, Scheduler, TenantState
+from .selection import SelectionIndex
 from .sfq import SFQScheduler
 from .twodfq import TwoDFQEScheduler, TwoDFQScheduler
 from .virtual_time import VirtualClock
@@ -31,6 +32,7 @@ __all__ = [
     "TenantState",
     "VirtualClock",
     "VirtualTimeScheduler",
+    "SelectionIndex",
     "MIN_COST",
     "FIFOScheduler",
     "RoundRobinScheduler",

@@ -32,3 +32,10 @@ class MSF2QScheduler(WF2QScheduler):
 
     def _fallback(self, thread_id: int, vnow: float) -> Optional[TenantState]:
         return self._min_start(self._backlogged.values())
+
+    def _index_spec(self) -> Optional[dict]:
+        # WF2Q eligibility slot, but the fallback orders by start tag.
+        return {"start": True, "staggers": (0.0,)}
+
+    def _fallback_indexed(self, thread_id: int, vnow: float) -> Optional[TenantState]:
+        return self._index.min_start()

@@ -58,6 +58,11 @@ class TenantState:
     deficit:
         Deficit counter; used only by DRR, kept here so the state object
         can be shared by every scheduler implementation.
+    sel_version:
+        Monotone invalidation counter owned by
+        :class:`~repro.core.selection.SelectionIndex`: heap entries
+        snapshot it at push time and are discarded once it moves on.
+        Schedulers running without an index never touch it.
     """
 
     __slots__ = (
@@ -68,6 +73,7 @@ class TenantState:
         "running",
         "active",
         "deficit",
+        "sel_version",
     )
 
     def __init__(self, tenant_id: str, weight: float) -> None:
@@ -80,6 +86,7 @@ class TenantState:
         self.running = 0
         self.active = False
         self.deficit = 0.0
+        self.sel_version = 0
 
     @property
     def backlogged(self) -> bool:

@@ -1,0 +1,245 @@
+"""Indexed tenant selection: O(log N) amortized scheduling decisions.
+
+The selection primitives in :mod:`repro.core.vt_base` -- smallest finish
+tag, smallest start tag, and the eligibility-gated variants -- are
+written as linear scans over the backlogged set.  They are simple and
+serve as the reference semantics, but every ``dequeue`` pays O(N) in the
+number of backlogged tenants, which caps simulator throughput exactly
+where the paper's production regime needs it (hundreds to thousands of
+concurrently backlogged tenants; §4 notes tag-based schedulers admit
+O(log N) implementations with ordered structures).
+
+:class:`SelectionIndex` maintains the same orderings in binary heaps
+with *lazy invalidation*:
+
+* every heap entry snapshots a tenant's selection key -- ``(finish tag,
+  head estimate, head seqno)`` or ``(start tag, head estimate, head
+  seqno)`` -- together with the tenant's ``sel_version`` at push time;
+* whenever a tenant's key may have changed (new head request, start-tag
+  movement, estimator update) the scheduler calls :meth:`touch`, which
+  bumps ``sel_version`` and pushes fresh entries; superseded entries
+  stay in the heaps and are discarded when they surface at the top;
+* when a tenant leaves the backlog the scheduler calls :meth:`drop`,
+  which only bumps the version -- O(1), no heap surgery.
+
+Eligibility-gated policies (WF2Q, MSF2Q, 2DFQ) use a classic two-heap
+arrangement per *stagger offset*: a ``pending`` heap ordered by the
+staggered start tag ``S_f - stagger * l_head`` and a ``ready`` heap
+ordered by the finish tag.  Because system virtual time never moves
+backwards, the eligibility threshold passed to
+:meth:`min_eligible_finish` is non-decreasing per stagger slot, so
+entries migrate from pending to ready exactly once.  2DFQ keeps one
+pending/ready pair per worker thread (stagger ``i / n``), making its
+dequeue O(log N) amortized per thread at the price of O(n) heap pushes
+per touch -- a win whenever N >> n, which is the production regime.
+
+Contract with cost estimators
+-----------------------------
+Keys are snapshotted at :meth:`touch` time, so the index is only
+coherent if a queued request's estimate can change *solely* through
+``observe()`` calls for the same tenant (estimators key their state on
+``(tenant_id, api)``; see :mod:`repro.estimation.base`).  Every
+estimator in this library satisfies that; a custom estimator whose
+estimates drift spontaneously must run with ``indexed=False``.
+
+The per-tenant entry is also a *head-estimate cache*: the estimate is
+computed once per touch and reused for every heap the index maintains,
+instead of once per candidate per dequeue as in the linear scans.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import SchedulerError
+from ..estimation.base import CostEstimator
+from .scheduler import MIN_COST, TenantState
+
+__all__ = ["SelectionIndex"]
+
+#: Heaps are compacted (stale entries filtered out, then re-heapified)
+#: once they grow past ``max(_COMPACT_MIN, 2 * live_entries)``; amortized
+#: O(1) per push, and it bounds memory at O(backlogged tenants) per heap.
+_COMPACT_MIN = 128
+
+
+class SelectionIndex:
+    """Lazy-invalidation heap index over the backlogged tenant set.
+
+    Parameters
+    ----------
+    estimator:
+        The scheduler's cost estimator; consulted once per :meth:`touch`
+        to snapshot the head estimate.
+    finish:
+        Maintain a global min-finish-tag heap (WFQ selection and the
+        default work-conserving fallback).
+    start:
+        Maintain a global min-start-tag heap (SFQ selection, MSF2Q
+        fallback, and the WF2Q+ virtual-time lower bound).
+    staggers:
+        One eligibility pending/ready heap pair per entry; entry ``j``
+        gates on ``S_f - staggers[j] * l_head <= threshold``.  WF2Q-style
+        policies pass ``(0.0,)``; 2DFQ passes ``(i / n for i in
+        range(n))``.
+    """
+
+    __slots__ = (
+        "_estimator",
+        "_heaps",
+        "_limits",
+        "_finish_heap",
+        "_start_heap",
+        "_pending",
+        "_ready",
+        "_staggers",
+    )
+
+    def __init__(
+        self,
+        estimator: CostEstimator,
+        finish: bool = False,
+        start: bool = False,
+        staggers: Sequence[float] = (),
+    ) -> None:
+        self._estimator = estimator
+        self._heaps: List[List[tuple]] = []
+        self._limits: List[int] = []
+        self._finish_heap = self._new_heap() if finish else -1
+        self._start_heap = self._new_heap() if start else -1
+        self._staggers: Tuple[float, ...] = tuple(staggers)
+        self._pending = [self._new_heap() for _ in self._staggers]
+        self._ready = [self._new_heap() for _ in self._staggers]
+
+    # -- maintenance ---------------------------------------------------------
+
+    def _new_heap(self) -> int:
+        self._heaps.append([])
+        self._limits.append(_COMPACT_MIN)
+        return len(self._heaps) - 1
+
+    def touch(self, state: TenantState) -> None:
+        """Reindex a backlogged tenant after its head request, start tag,
+        or head estimate may have changed.
+
+        Bumps the tenant's ``sel_version`` (invalidating every entry
+        pushed earlier) and pushes one fresh entry per maintained heap.
+        """
+        state.sel_version += 1
+        version = state.sel_version
+        head = state.queue[0]
+        estimate = self._estimator.estimate(head)
+        if estimate < MIN_COST:
+            estimate = MIN_COST
+        start = state.start_tag
+        finish = start + estimate / state.weight
+        seqno = head.seqno
+        if self._finish_heap >= 0:
+            self._push(self._finish_heap, (finish, estimate, seqno, version, state))
+        if self._start_heap >= 0:
+            self._push(self._start_heap, (start, estimate, seqno, version, state))
+        for slot, stagger in enumerate(self._staggers):
+            self._push(
+                self._pending[slot],
+                (start - stagger * estimate, finish, estimate, seqno, version, state),
+            )
+
+    def drop(self, state: TenantState) -> None:
+        """Invalidate every entry of a tenant that left the backlog."""
+        state.sel_version += 1
+
+    def _push(self, heap_id: int, entry: tuple) -> None:
+        heap = self._heaps[heap_id]
+        heapq.heappush(heap, entry)
+        if len(heap) >= self._limits[heap_id]:
+            live = [e for e in heap if e[-2] == e[-1].sel_version]
+            heapq.heapify(live)
+            self._heaps[heap_id] = live
+            self._limits[heap_id] = max(_COMPACT_MIN, 2 * len(live))
+
+    # -- queries -------------------------------------------------------------
+
+    def _peek(self, heap_id: int) -> Optional[tuple]:
+        """Top fresh entry of a heap, discarding superseded ones."""
+        heap = self._heaps[heap_id]
+        while heap:
+            entry = heap[0]
+            if entry[-2] == entry[-1].sel_version:
+                return entry
+            heapq.heappop(heap)
+        return None
+
+    def min_finish(self) -> Optional[TenantState]:
+        """Backlogged tenant with the smallest ``(finish tag, head
+        estimate, head seqno)`` key -- the WFQ decision."""
+        if self._finish_heap < 0:
+            raise SchedulerError("selection index was built without a finish heap")
+        entry = self._peek(self._finish_heap)
+        return entry[-1] if entry is not None else None
+
+    def min_start(self) -> Optional[TenantState]:
+        """Backlogged tenant with the smallest ``(start tag, head
+        estimate, head seqno)`` key -- the SFQ decision."""
+        if self._start_heap < 0:
+            raise SchedulerError("selection index was built without a start heap")
+        entry = self._peek(self._start_heap)
+        return entry[-1] if entry is not None else None
+
+    def min_start_tag(self) -> Optional[float]:
+        """Smallest start tag over backlogged tenants (WF2Q+ virtual-time
+        lower bound), or ``None`` when the backlog is empty."""
+        if self._start_heap < 0:
+            raise SchedulerError("selection index was built without a start heap")
+        entry = self._peek(self._start_heap)
+        return entry[0] if entry is not None else None
+
+    def min_eligible_finish(
+        self, slot: int, threshold: float
+    ) -> Optional[TenantState]:
+        """Smallest-finish-tag tenant whose staggered start tag is within
+        ``threshold`` for stagger slot ``slot``.
+
+        ``threshold`` must be non-decreasing across calls for a given
+        slot (system virtual time never moves backwards), which is what
+        lets eligible entries migrate to the ready heap exactly once.
+        """
+        pending = self._heaps[self._pending[slot]]
+        ready_id = self._ready[slot]
+        while pending:
+            entry = pending[0]
+            if entry[-2] != entry[-1].sel_version:
+                heapq.heappop(pending)
+                continue
+            if entry[0] <= threshold:
+                heapq.heappop(pending)
+                # Re-key from staggered start to finish tag.
+                self._push(ready_id, entry[1:])
+                continue
+            break
+        top = self._peek(ready_id)
+        return top[-1] if top is not None else None
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def staggers(self) -> Tuple[float, ...]:
+        return self._staggers
+
+    def heap_sizes(self) -> dict:
+        """Current heap occupancy (monitoring and tests)."""
+        sizes = {}
+        if self._finish_heap >= 0:
+            sizes["finish"] = len(self._heaps[self._finish_heap])
+        if self._start_heap >= 0:
+            sizes["start"] = len(self._heaps[self._start_heap])
+        for slot in range(len(self._staggers)):
+            sizes[f"pending[{slot}]"] = len(self._heaps[self._pending[slot]])
+            sizes[f"ready[{slot}]"] = len(self._heaps[self._ready[slot]])
+        return sizes
+
+    def __repr__(self) -> str:
+        return (
+            f"SelectionIndex(finish={self._finish_heap >= 0}, "
+            f"start={self._start_heap >= 0}, staggers={len(self._staggers)})"
+        )

@@ -29,3 +29,11 @@ class SFQScheduler(VirtualTimeScheduler):
 
     def _select(self, thread_id: int, vnow: float) -> Optional[TenantState]:
         return self._min_start(self._backlogged.values())
+
+    def _index_spec(self) -> Optional[dict]:
+        return {"start": True}
+
+    def _select_indexed(self, thread_id: int, vnow: float) -> Optional[TenantState]:
+        # Always finds a tenant while anything is backlogged, so the
+        # fallback path never fires for SFQ.
+        return self._index.min_start()

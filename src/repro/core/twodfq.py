@@ -39,7 +39,7 @@ from typing import Optional
 
 from ..estimation.base import CostEstimator
 from ..estimation.pessimistic import PessimisticEstimator
-from .scheduler import TenantState
+from .scheduler import MIN_COST, TenantState
 from .vt_base import VirtualTimeScheduler
 
 __all__ = ["TwoDFQScheduler", "TwoDFQEScheduler"]
@@ -62,18 +62,20 @@ class TwoDFQScheduler(VirtualTimeScheduler):
         # evaluation uses equal weights, for which this is exact).
         #
         # Single fused pass over the backlogged set: eligibility and the
-        # min-finish choice share one estimate per tenant.  This is the
-        # simulator's hottest loop.
+        # min-finish choice share one estimate per tenant.  Estimates are
+        # clamped to the framework-wide MIN_COST and gated on the shared
+        # eligibility threshold, so the selection key can never disagree
+        # with the amount ``dequeue`` charges.
         stagger = thread_id / self._num_threads
-        threshold = vnow + 1e-9 * max(1.0, abs(vnow))
+        threshold = self._eligibility_threshold(vnow)
         estimate_fn = self._estimator.estimate
         best: Optional[TenantState] = None
         best_key = (float("inf"), float("inf"), 0)
         for state in self._backlogged.values():
             head = state.queue[0]
             estimate = estimate_fn(head)
-            if estimate < 1e-9:
-                estimate = 1e-9
+            if estimate < MIN_COST:
+                estimate = MIN_COST
             if state.start_tag - stagger * estimate <= threshold:
                 key = (
                     state.start_tag + estimate / state.weight,
@@ -88,6 +90,22 @@ class TwoDFQScheduler(VirtualTimeScheduler):
     # On thread n-1 the stagger is largest, so small requests are usually
     # eligible there and the fallback fires rarely; on thread 0 the
     # eligibility set equals WF2Q's.
+
+    def _index_spec(self) -> Optional[dict]:
+        # One eligibility slot per worker thread: thread ``i`` gates on
+        # the staggered start tag ``S_f - (i/n) * l_head``.  Touch cost
+        # is O(n log N); dequeue drops to O(log N) amortized per thread,
+        # a win whenever backlogged tenants far outnumber threads.
+        n = self._num_threads
+        return {
+            "finish": True,
+            "staggers": tuple(i / n for i in range(n)),
+        }
+
+    def _select_indexed(self, thread_id: int, vnow: float) -> Optional[TenantState]:
+        return self._index.min_eligible_finish(
+            thread_id, self._eligibility_threshold(vnow)
+        )
 
 
 class TwoDFQEScheduler(TwoDFQScheduler):
@@ -108,9 +126,10 @@ class TwoDFQEScheduler(TwoDFQScheduler):
         estimator: Optional[CostEstimator] = None,
         alpha: float = 0.99,
         initial_estimate: float = 1.0,
+        indexed: bool = True,
     ) -> None:
         if estimator is None:
             estimator = PessimisticEstimator(
                 alpha=alpha, initial_estimate=initial_estimate
             )
-        super().__init__(num_threads, thread_rate, estimator)
+        super().__init__(num_threads, thread_rate, estimator, indexed=indexed)

@@ -24,6 +24,19 @@ Subclasses implement a single hook, :meth:`VirtualTimeScheduler._select`,
 choosing a backlogged tenant given the thread index and current virtual
 time, plus optionally :meth:`_fallback` for the work-conserving choice
 when no tenant is *eligible* under the policy.
+
+Selection runs in one of two interchangeable modes:
+
+* **linear scan** (the reference): `_select` / `_fallback` walk the
+  backlogged set, exactly as the policy definitions read;
+* **indexed** (the default, ``indexed=True``): policies that declare an
+  :meth:`_index_spec` get a :class:`~repro.core.selection.SelectionIndex`
+  -- heaps with lazy invalidation -- and `dequeue` routes through
+  :meth:`_select_indexed` / :meth:`_fallback_indexed` instead, dropping
+  the per-dequeue cost from O(N) to O(log N) amortized.  The two modes
+  are dispatch-for-dispatch identical (the differential tests assert
+  it); external subclasses that only override `_select` simply keep the
+  linear path.
 """
 
 from __future__ import annotations
@@ -35,6 +48,7 @@ from ..estimation.base import CostEstimator
 from ..estimation.oracle import OracleEstimator
 from .request import Request
 from .scheduler import MIN_COST, Scheduler, TenantState
+from .selection import SelectionIndex
 from .virtual_time import VirtualClock
 
 __all__ = ["VirtualTimeScheduler"]
@@ -58,6 +72,10 @@ class VirtualTimeScheduler(Scheduler):
         :class:`~repro.estimation.ema.EMAEstimator` or
         :class:`~repro.estimation.pessimistic.PessimisticEstimator` for
         the ^E variants.
+    indexed:
+        Use the heap-based selection index when the policy provides one
+        (the default).  ``indexed=False`` forces the reference linear
+        scans; the differential tests run both modes side by side.
     """
 
     def __init__(
@@ -65,6 +83,7 @@ class VirtualTimeScheduler(Scheduler):
         num_threads: int,
         thread_rate: float = 1.0,
         estimator: Optional[CostEstimator] = None,
+        indexed: bool = True,
     ) -> None:
         super().__init__(num_threads, thread_rate)
         self._estimator = estimator if estimator is not None else OracleEstimator()
@@ -73,12 +92,26 @@ class VirtualTimeScheduler(Scheduler):
         # for dequeue.  dict preserves insertion order, giving stable
         # iteration for deterministic tie-breaking.
         self._backlogged: dict[str, TenantState] = {}
+        self._index: Optional[SelectionIndex] = None
+        if indexed:
+            spec = self._index_spec()
+            if spec is not None:
+                self._index = SelectionIndex(self._estimator, **spec)
 
     # -- introspection ---------------------------------------------------------
 
     @property
     def estimator(self) -> CostEstimator:
         return self._estimator
+
+    @property
+    def indexed(self) -> bool:
+        """True when dequeues run through the O(log N) selection index."""
+        return self._index is not None
+
+    @property
+    def selection_index(self) -> Optional[SelectionIndex]:
+        return self._index
 
     @property
     def virtual_clock(self) -> VirtualClock:
@@ -107,6 +140,10 @@ class VirtualTimeScheduler(Scheduler):
         state.queue.append(request)
         self._backlogged[state.tenant_id] = state
         self._note_enqueued(request)
+        if self._index is not None and len(state.queue) == 1:
+            # A new head request (and possibly a fast-forwarded start
+            # tag); deeper enqueues change neither the head nor the tag.
+            self._index.touch(state)
 
     def dequeue(self, thread_id: int, now: float) -> Optional[Request]:
         self._check_thread(thread_id)
@@ -114,10 +151,16 @@ class VirtualTimeScheduler(Scheduler):
             return None
         vnow = self._clock.advance(now)
         vnow = self._adjust_virtual_time(vnow)
-        state = self._select(thread_id, vnow)
-        if state is None:
-            # Work conservation: requests are queued, so pick something.
-            state = self._fallback(thread_id, vnow)
+        index = self._index
+        if index is not None:
+            state = self._select_indexed(thread_id, vnow)
+            if state is None:
+                # Work conservation: requests are queued, so pick something.
+                state = self._fallback_indexed(thread_id, vnow)
+        else:
+            state = self._select(thread_id, vnow)
+            if state is None:
+                state = self._fallback(thread_id, vnow)
         if state is None:
             raise SchedulerError(
                 f"{type(self).__name__} violated work conservation with "
@@ -132,6 +175,11 @@ class VirtualTimeScheduler(Scheduler):
         request.credit = estimate
         state.start_tag += estimate / state.weight
         state.running += 1
+        if index is not None:
+            if state.queue:
+                index.touch(state)
+            else:
+                index.drop(state)
         self._note_dispatched(request, thread_id, now)
         return request
 
@@ -145,22 +193,39 @@ class VirtualTimeScheduler(Scheduler):
             state = self._tenants[request.tenant_id]
             state.start_tag += (usage - request.credit) / state.weight
             request.credit = 0.0
+            if self._index is not None and state.queue:
+                self._index.touch(state)
 
     def complete(self, request: Request, usage: float, now: float) -> None:
         """Retroactive charging (Figure 7, Complete): reconcile the final
         usage increment against the remaining credit.  If the request was
-        overcharged the adjustment is negative -- a refund."""
+        overcharged the adjustment is negative -- a refund.
+
+        The final increment is reconciled against the request's true
+        cost rather than taken at face value: interim refresh
+        measurements are wallclock-delta products whose float round-off
+        would otherwise leave a permanent residual in ``start_tag``.
+        After completion the tenant has been charged exactly
+        ``cost / weight`` virtual time for the request (up to one
+        rounding per charge increment), and the estimator observes the
+        exact cost.
+        """
         state = self._tenants.get(request.tenant_id)
         if state is None or state.running <= 0:
             raise SchedulerError(
                 f"complete() for request of unknown/idle tenant {request.tenant_id}"
             )
         self._clock.advance(now)
-        request.reported_usage += usage
-        state.start_tag += (usage - request.credit) / state.weight
+        final = request.cost - request.reported_usage
+        request.reported_usage = request.cost
+        state.start_tag += (final - request.credit) / state.weight
         request.credit = 0.0
         state.running -= 1
         self._estimator.observe(request, request.reported_usage)
+        if self._index is not None and state.queue:
+            # Both the start tag and (via observe) the tenant's head
+            # estimate may have moved.
+            self._index.touch(state)
         if not state.queue and state.running == 0 and state.active:
             # The tenant goes idle.  Figure 7 removes it from the active
             # set as soon as its queue drains; we additionally wait for
@@ -179,13 +244,39 @@ class VirtualTimeScheduler(Scheduler):
     def _select(self, thread_id: int, vnow: float) -> Optional[TenantState]:
         """Choose a backlogged tenant for ``thread_id`` at virtual time
         ``vnow``; return ``None`` if no tenant is eligible under the
-        policy (the framework then calls :meth:`_fallback`)."""
+        policy (the framework then calls :meth:`_fallback`).
+
+        This is the *reference* linear-scan hook; it stays O(N) and
+        readable.  Policies that also provide :meth:`_index_spec` and
+        :meth:`_select_indexed` get the O(log N) path in ``dequeue``.
+        """
         raise NotImplementedError
 
     def _fallback(self, thread_id: int, vnow: float) -> Optional[TenantState]:
         """Work-conserving choice when nothing is eligible.  Default:
         smallest finish tag, i.e. the WFQ decision."""
         return self._min_finish(self._backlogged.values())
+
+    def _index_spec(self) -> Optional[dict]:
+        """Describe the ordered structures this policy's indexed
+        selection needs, as keyword arguments for
+        :class:`~repro.core.selection.SelectionIndex` (``finish``,
+        ``start``, ``staggers``).  Return ``None`` (the default) to run
+        on the linear scans only -- which is what external subclasses
+        that merely override :meth:`_select` get, unchanged.
+        """
+        return None
+
+    def _select_indexed(self, thread_id: int, vnow: float) -> Optional[TenantState]:
+        """Indexed counterpart of :meth:`_select`; must make the exact
+        same decision.  Only called when :meth:`_index_spec` returned a
+        spec and ``indexed=True``."""
+        raise NotImplementedError
+
+    def _fallback_indexed(self, thread_id: int, vnow: float) -> Optional[TenantState]:
+        """Indexed counterpart of :meth:`_fallback` (default: smallest
+        finish tag from the index)."""
+        return self._index.min_finish()
 
     # -- selection primitives shared by the policies -----------------------------------
 
@@ -239,6 +330,14 @@ class VirtualTimeScheduler(Scheduler):
         return best
 
     @staticmethod
-    def _eligible(start_tag: float, vnow: float) -> bool:
+    def _eligibility_threshold(vnow: float) -> float:
+        """Upper bound on (staggered) start tags counted as eligible at
+        virtual time ``vnow``: the slack absorbs float round-off in
+        virtual-time arithmetic.  Shared by the linear scans and the
+        selection index so both paths gate on identical values."""
+        return vnow + _ELIGIBILITY_EPS * max(1.0, abs(vnow))
+
+    @classmethod
+    def _eligible(cls, start_tag: float, vnow: float) -> bool:
         """Eligibility test with float slack: ``S_f <= v(now)``."""
-        return start_tag <= vnow + _ELIGIBILITY_EPS * max(1.0, abs(vnow))
+        return start_tag <= cls._eligibility_threshold(vnow)

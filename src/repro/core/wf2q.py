@@ -39,3 +39,13 @@ class WF2QScheduler(VirtualTimeScheduler):
         return self._min_finish(eligible)
 
     # _fallback inherited: min finish tag over everything (work conserving).
+
+    def _index_spec(self) -> Optional[dict]:
+        # One eligibility slot (stagger 0: plain ``S_f <= v(now)``) plus
+        # the finish heap backing the work-conserving fallback.
+        return {"finish": True, "staggers": (0.0,)}
+
+    def _select_indexed(self, thread_id: int, vnow: float) -> Optional[TenantState]:
+        return self._index.min_eligible_finish(
+            0, self._eligibility_threshold(vnow)
+        )

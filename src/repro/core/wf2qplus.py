@@ -13,6 +13,8 @@ practice (§6); we include it to verify that claim.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from .wf2q import WF2QScheduler
 
 __all__ = ["WF2QPlusScheduler"]
@@ -24,11 +26,20 @@ class WF2QPlusScheduler(WF2QScheduler):
     name = "wf2q+"
 
     def _adjust_virtual_time(self, vnow: float) -> float:
-        if self._backlogged:
+        if self._index is not None:
+            min_start = self._index.min_start_tag()
+        elif self._backlogged:
             min_start = min(
                 state.start_tag for state in self._backlogged.values()
             )
-            if min_start > vnow:
-                self._clock.jump_to(min_start)
-                return min_start
+        else:
+            min_start = None
+        if min_start is not None and min_start > vnow:
+            self._clock.jump_to(min_start)
+            return min_start
         return vnow
+
+    def _index_spec(self) -> Optional[dict]:
+        # WF2Q's eligibility slot and fallback, plus the start heap that
+        # backs the ``min_f S_f`` term of the virtual-time function.
+        return {"finish": True, "start": True, "staggers": (0.0,)}

@@ -29,3 +29,9 @@ class WFQScheduler(VirtualTimeScheduler):
     def _select(self, thread_id: int, vnow: float) -> Optional[TenantState]:
         # No eligibility criterion: every backlogged tenant is a candidate.
         return self._min_finish(self._backlogged.values())
+
+    def _index_spec(self) -> Optional[dict]:
+        return {"finish": True}
+
+    def _select_indexed(self, thread_id: int, vnow: float) -> Optional[TenantState]:
+        return self._index.min_finish()

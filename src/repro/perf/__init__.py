@@ -1,0 +1,27 @@
+"""Performance measurement helpers.
+
+The ROADMAP's north star is a simulator that "runs as fast as the
+hardware allows"; this package is where that claim is measured.  The
+first instrument is the scheduler hot-path harness
+(:mod:`repro.perf.hotpath`), which times ``dequeue`` throughput per
+scheduler and backlog size and persists the trajectory to
+``BENCH_schedulers.json`` so regressions are visible PR over PR.
+"""
+
+from .hotpath import (
+    DEFAULT_SCHEDULERS,
+    DEFAULT_TENANT_COUNTS,
+    format_results,
+    measure_dequeue_throughput,
+    run_hotpath_suite,
+    write_results,
+)
+
+__all__ = [
+    "DEFAULT_SCHEDULERS",
+    "DEFAULT_TENANT_COUNTS",
+    "format_results",
+    "measure_dequeue_throughput",
+    "run_hotpath_suite",
+    "write_results",
+]

@@ -1,0 +1,232 @@
+"""Scheduler hot-path timing harness.
+
+Measures sustained ``dequeue`` throughput (dispatches per second of
+wallclock) with N tenants held continuously backlogged -- the regime
+where selection cost dominates simulator runtime.  Each measurement
+drives the full dispatch cycle a real simulation performs per request:
+
+    dequeue -> complete (retroactive charge + estimator observe)
+            -> enqueue a replacement for the same tenant
+
+so the numbers reflect the whole bookkeeping path, not just the
+selection scan.  Every scheduler is measured twice, with the selection
+index enabled (``indexed=True``, the default everywhere) and with the
+reference linear scans (``indexed=False``); the ratio is the speedup
+the index buys at that backlog size.
+
+Results are persisted as ``BENCH_schedulers.json`` (see
+``benchmarks/test_bench_perf_hotpath.py``) so the performance
+trajectory is tracked from PR to PR.  Wallclock timings vary with the
+host, so treat absolute requests/sec as indicative; the indexed/linear
+ratio is the stable signal.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core import make_scheduler
+from ..core.request import Request
+from ..simulator.rng import make_rng
+
+__all__ = [
+    "DEFAULT_SCHEDULERS",
+    "DEFAULT_TENANT_COUNTS",
+    "measure_dequeue_throughput",
+    "run_hotpath_suite",
+    "format_results",
+    "write_results",
+]
+
+#: Virtual-time schedulers with both a linear and an indexed selection
+#: path; FIFO/RR/DRR are O(1) by construction and not interesting here.
+DEFAULT_SCHEDULERS: Tuple[str, ...] = (
+    "wfq",
+    "sfq",
+    "wf2q",
+    "wf2q+",
+    "msf2q",
+    "2dfq",
+    "2dfq-e",
+    "wf2q-e",
+)
+
+DEFAULT_TENANT_COUNTS: Tuple[int, ...] = (10, 100, 1000)
+
+#: APIs drawn for the synthetic backlog; a small set keeps estimator
+#: state realistic (a few keys per tenant) without unbounded growth.
+_APIS = ("A", "C", "G")
+
+
+def _default_ops(num_tenants: int) -> int:
+    """Dispatches per timing repetition: enough samples to be stable,
+    capped so the O(N) linear reference stays affordable at N=1000."""
+    return max(500, min(3000, 300_000 // num_tenants))
+
+
+def _build_backlog(
+    scheduler_name: str, num_tenants: int, seed: int
+) -> List[Request]:
+    """Seeded initial backlog: two queued requests per tenant, so no
+    tenant drains mid-measurement."""
+    rng = make_rng(seed, "hotpath", scheduler_name, str(num_tenants))
+    initial: List[Request] = []
+    for i in range(num_tenants):
+        for _ in range(2):
+            initial.append(
+                Request(
+                    tenant_id=f"t{i:05d}",
+                    cost=float(10.0 ** rng.uniform(0.0, 4.0)),
+                    api=str(rng.choice(_APIS)),
+                )
+            )
+    return initial
+
+
+def measure_dequeue_throughput(
+    scheduler_name: str,
+    num_tenants: int,
+    num_threads: int = 4,
+    thread_rate: float = 1.0,
+    ops: Optional[int] = None,
+    seed: int = 0,
+    indexed: bool = True,
+    repeats: int = 2,
+) -> Dict[str, Union[str, int, float, bool]]:
+    """Time ``ops`` full dispatch cycles with ``num_tenants`` backlogged.
+
+    Returns a record with ``rps`` (dispatches per wallclock second, best
+    of ``repeats`` runs on freshly built schedulers).
+    """
+    if ops is None:
+        ops = _default_ops(num_tenants)
+    rng = make_rng(seed, "hotpath-costs", scheduler_name, str(num_tenants))
+    replacement_costs = 10.0 ** rng.uniform(0.0, 4.0, ops)
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        scheduler = make_scheduler(
+            scheduler_name,
+            num_threads=num_threads,
+            thread_rate=thread_rate,
+            indexed=indexed,
+        )
+        initial = _build_backlog(scheduler_name, num_tenants, seed)
+        for request in initial:
+            scheduler.enqueue(request, 0.0)
+        # Pre-build replacement requests outside the timed region; the
+        # loop only rebinds their tenant to whoever was just served, so
+        # the backlog stays at exactly ``num_tenants`` tenants.
+        replacements = [
+            Request(tenant_id="", cost=float(cost)) for cost in replacement_costs
+        ]
+        dequeue = scheduler.dequeue
+        complete = scheduler.complete
+        enqueue = scheduler.enqueue
+        dt = 1e-4
+        now = 0.0
+        started = time.perf_counter()
+        for i, replacement in enumerate(replacements):
+            now += dt
+            out = dequeue(i % num_threads, now)
+            complete(out, out.cost, now)
+            replacement.tenant_id = out.tenant_id
+            replacement.api = out.api
+            enqueue(replacement, now)
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+    return {
+        "scheduler": scheduler_name,
+        "tenants": num_tenants,
+        "threads": num_threads,
+        "indexed": indexed,
+        "ops": ops,
+        "seconds": best,
+        "rps": ops / best if best > 0 else float("inf"),
+    }
+
+
+def run_hotpath_suite(
+    schedulers: Sequence[str] = DEFAULT_SCHEDULERS,
+    tenant_counts: Sequence[int] = DEFAULT_TENANT_COUNTS,
+    num_threads: int = 4,
+    ops: Optional[int] = None,
+    seed: int = 0,
+    repeats: int = 2,
+) -> Dict:
+    """Measure every (scheduler, backlog size) cell in both selection
+    modes and return the comparison table as a JSON-ready dict."""
+    rows: List[Dict] = []
+    for num_tenants in tenant_counts:
+        for name in schedulers:
+            indexed = measure_dequeue_throughput(
+                name,
+                num_tenants,
+                num_threads=num_threads,
+                ops=ops,
+                seed=seed,
+                indexed=True,
+                repeats=repeats,
+            )
+            linear = measure_dequeue_throughput(
+                name,
+                num_tenants,
+                num_threads=num_threads,
+                ops=ops,
+                seed=seed,
+                indexed=False,
+                repeats=repeats,
+            )
+            rows.append(
+                {
+                    "scheduler": name,
+                    "tenants": num_tenants,
+                    "threads": num_threads,
+                    "ops": indexed["ops"],
+                    "indexed_rps": round(indexed["rps"], 1),
+                    "linear_rps": round(linear["rps"], 1),
+                    "speedup": round(indexed["rps"] / linear["rps"], 2),
+                }
+            )
+    return {
+        "meta": {
+            "benchmark": "scheduler-hotpath-dequeue-throughput",
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "num_threads": num_threads,
+            "seed": seed,
+            "repeats": repeats,
+            "note": (
+                "rps = full dispatch cycles (dequeue+complete+enqueue) per "
+                "wallclock second with N tenants continuously backlogged; "
+                "speedup = indexed_rps / linear_rps"
+            ),
+        },
+        "results": rows,
+    }
+
+
+def format_results(payload: Dict) -> str:
+    """Render the suite results as an aligned text table."""
+    lines = [
+        f"{'scheduler':<10} {'tenants':>7} {'linear rps':>12} "
+        f"{'indexed rps':>12} {'speedup':>8}"
+    ]
+    for row in payload["results"]:
+        lines.append(
+            f"{row['scheduler']:<10} {row['tenants']:>7} "
+            f"{row['linear_rps']:>12.1f} {row['indexed_rps']:>12.1f} "
+            f"{row['speedup']:>7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def write_results(payload: Dict, path: Union[str, Path]) -> Path:
+    """Persist suite results as pretty-printed JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -106,6 +106,13 @@ class ThreadPoolServer:
         self.num_threads = int(num_threads)
         self.workers: List[Worker] = [Worker(i) for i in range(num_threads)]
         self._dispatch_order = dispatch_order
+        # Workers in the order idle ones are offered work, fixed at
+        # construction -- the dispatch cycle must not re-sort per call.
+        self._dispatch_cycle: List[Worker] = (
+            list(reversed(self.workers))
+            if dispatch_order == "descending"
+            else list(self.workers)
+        )
         self._refresh_interval = refresh_interval
         self._refresh_scheduled = False
         self._submit_listeners: List[RequestListener] = []
@@ -174,12 +181,7 @@ class ThreadPoolServer:
     # -- internals --------------------------------------------------------------------
 
     def _idle_workers(self) -> List[Worker]:
-        workers = [w for w in self.workers if not w.busy]
-        if self._dispatch_order == "descending":
-            workers.sort(key=lambda w: -w.index)
-        else:
-            workers.sort(key=lambda w: w.index)
-        return workers
+        return [w for w in self._dispatch_cycle if not w.busy]
 
     def _dispatch_idle(self) -> None:
         """Offer work to every idle worker while the scheduler has any.
@@ -188,7 +190,9 @@ class ThreadPoolServer:
         from ``dequeue`` means the backlog is empty and the scan can stop.
         """
         now = self.sim.now
-        for worker in self._idle_workers():
+        for worker in self._dispatch_cycle:
+            if worker.busy:
+                continue
             if self.scheduler.backlog == 0:
                 break
             request = self.scheduler.dequeue(worker.index, now)

@@ -104,6 +104,63 @@ class TestRefreshCharging:
         assert est.peek("A", "G") == pytest.approx(100.0)
 
 
+class TestChargeReconciliation:
+    """Refresh increments are wallclock-delta products whose float sum
+    can drift from the true cost; complete() must reconcile the final
+    increment so every request charges exactly ``cost / weight``."""
+
+    def test_refresh_drift_reconciled_at_complete(self):
+        # Azure-scale request driven by awkward refresh intervals whose
+        # increments (interval * rate) do not sum to the cost exactly.
+        est = LastValueEstimator(initial_estimate=2.5e5)
+        s = WFQScheduler(num_threads=1, thread_rate=1.0e6, estimator=est)
+        cost, weight, rate = 1.0e6, 3.0, 1.0e6
+        r = make_request("A", cost, weight=weight)
+        s.enqueue(r, 0.0)
+        out = s.dequeue(0, 0.0)
+        now = last = 0.0
+        for _ in range(97):
+            now += 0.0103
+            s.refresh(out, (now - last) * rate, now)
+            last = now
+        end = cost / rate
+        s.complete(out, (end - last) * rate, end)
+        # The estimator observes the exact cost, not the drifted sum...
+        assert out.reported_usage == cost
+        assert est.peek("A", "api") == cost
+        # ...and the tenant was charged exactly cost / weight.
+        assert s.tenant_state("A").start_tag == pytest.approx(
+            cost / weight, rel=1e-12
+        )
+
+    def test_total_charged_virtual_time_matches_costs(self):
+        """Over many requests with interleaved refreshes, total charged
+        virtual time equals sum(cost) / weight within 1e-9 relative --
+        no residual accumulates."""
+        est = LastValueEstimator(initial_estimate=1.0e3)
+        s = WFQScheduler(num_threads=1, thread_rate=1.0e6, estimator=est)
+        weight, rate = 2.0, 1.0e6
+        costs = [1.0e6 / 3.0, 7.7e5, 1.23456e4, 9.9e5, 3.333e5] * 40
+        for cost in costs:
+            s.enqueue(make_request("A", cost, weight=weight), 0.0)
+        now = 0.0
+        for _ in costs:
+            out = s.dequeue(0, now)
+            last = now
+            end = now + out.cost / rate
+            # Three interim reports at awkward fractions, then complete.
+            for frac in (0.31, 0.57, 0.93):
+                t = now + frac * (end - now)
+                s.refresh(out, (t - last) * rate, t)
+                last = t
+            s.complete(out, (end - last) * rate, end)
+            now = end
+        expected = sum(costs) / weight
+        assert s.tenant_state("A").start_tag == pytest.approx(expected, rel=1e-9)
+        per_request = s.tenant_state("A").start_tag - expected
+        assert abs(per_request) / len(costs) < 1e-9 * (sum(costs) / len(costs))
+
+
 class TestGamingAttack:
     """§5: without retroactive charging, last-value estimation lets a
     tenant earn ~n times its fair share on n threads.  With it, the

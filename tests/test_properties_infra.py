@@ -133,10 +133,13 @@ class TestGiniProperties:
         assert gini_index([value] * n) == pytest.approx(0.0, abs=1e-12)
 
     @settings(max_examples=50, deadline=None)
-    @given(values=st.lists(st.floats(min_value=0.0, max_value=1e3),
+    @given(values=st.lists(st.floats(min_value=0.0, max_value=1e3,
+                                     allow_subnormal=False),
                            min_size=2, max_size=30),
            scale=st.floats(min_value=0.01, max_value=100.0))
     def test_scale_invariance(self, values, scale):
+        # Subnormals are excluded: v * scale can underflow to 0.0 there,
+        # which genuinely breaks scale invariance in floating point.
         if sum(values) <= 0:
             return
         a = gini_index(values)
