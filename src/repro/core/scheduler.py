@@ -119,6 +119,11 @@ class Scheduler(ABC):
         self._size = 0
         self._dispatched = 0
         self._completed = 0
+        #: Attached :class:`repro.obs.Tracer`, or ``None`` (the default).
+        #: Instrumented subclasses guard every emission site with a single
+        #: ``if self._trace is not None`` check -- the whole disabled-mode
+        #: overhead contract (see :mod:`repro.obs.tracer`).
+        self._trace = None
 
     # -- introspection -------------------------------------------------------
 
@@ -155,6 +160,23 @@ class Scheduler(ABC):
     def tenants(self) -> Dict[str, TenantState]:
         """All tenants ever seen, keyed by id (read-only by convention)."""
         return self._tenants
+
+    @property
+    def tracer(self):
+        """The attached tracer, or ``None`` when tracing is off."""
+        return self._trace
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach a :class:`repro.obs.Tracer` (or detach with ``None``).
+
+        A disabled tracer is stored as ``None`` so the hot path keeps
+        its single-attribute-check fast path; only the virtual-time
+        schedulers emit events (FIFO/RR/DRR accept the attachment but
+        have no instrumented decision points).
+        """
+        self._trace = (
+            tracer if tracer is not None and tracer.enabled else None
+        )
 
     # -- scheduler contract ---------------------------------------------------
 

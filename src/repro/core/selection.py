@@ -94,6 +94,10 @@ class SelectionIndex:
         "_pending",
         "_ready",
         "_staggers",
+        "stale_pops",
+        "rebuilds",
+        "pushes",
+        "_pushes_per_touch",
     )
 
     def __init__(
@@ -111,6 +115,18 @@ class SelectionIndex:
         self._staggers: Tuple[float, ...] = tuple(staggers)
         self._pending = [self._new_heap() for _ in self._staggers]
         self._ready = [self._new_heap() for _ in self._staggers]
+        # Lazy-invalidation churn counters (always on): how many
+        # superseded entries surfaced and were discarded, how many
+        # compaction rebuilds ran, and how many entries were pushed in
+        # total.  Increments are batched -- loops accumulate into locals
+        # and ``touch`` adds its per-call push count once -- so the
+        # per-operation cost stays a couple of integer adds.
+        self.stale_pops = 0
+        self.rebuilds = 0
+        self.pushes = 0
+        self._pushes_per_touch = (
+            (1 if finish else 0) + (1 if start else 0) + len(self._staggers)
+        )
 
     # -- maintenance ---------------------------------------------------------
 
@@ -144,6 +160,7 @@ class SelectionIndex:
                 self._pending[slot],
                 (start - stagger * estimate, finish, estimate, seqno, version, state),
             )
+        self.pushes += self._pushes_per_touch
 
     def drop(self, state: TenantState) -> None:
         """Invalidate every entry of a tenant that left the backlog."""
@@ -157,18 +174,25 @@ class SelectionIndex:
             heapq.heapify(live)
             self._heaps[heap_id] = live
             self._limits[heap_id] = max(_COMPACT_MIN, 2 * len(live))
+            self.rebuilds += 1
 
     # -- queries -------------------------------------------------------------
 
     def _peek(self, heap_id: int) -> Optional[tuple]:
         """Top fresh entry of a heap, discarding superseded ones."""
         heap = self._heaps[heap_id]
+        top = None
+        stale = 0
         while heap:
             entry = heap[0]
             if entry[-2] == entry[-1].sel_version:
-                return entry
+                top = entry
+                break
             heapq.heappop(heap)
-        return None
+            stale += 1
+        if stale:
+            self.stale_pops += stale
+        return top
 
     def min_finish(self) -> Optional[TenantState]:
         """Backlogged tenant with the smallest ``(finish tag, head
@@ -206,17 +230,25 @@ class SelectionIndex:
         """
         pending = self._heaps[self._pending[slot]]
         ready_id = self._ready[slot]
+        stale = 0
+        moved = 0
         while pending:
             entry = pending[0]
             if entry[-2] != entry[-1].sel_version:
                 heapq.heappop(pending)
+                stale += 1
                 continue
             if entry[0] <= threshold:
                 heapq.heappop(pending)
                 # Re-key from staggered start to finish tag.
                 self._push(ready_id, entry[1:])
+                moved += 1
                 continue
             break
+        if stale:
+            self.stale_pops += stale
+        if moved:
+            self.pushes += moved
         top = self._peek(ready_id)
         return top[-1] if top is not None else None
 
@@ -225,6 +257,23 @@ class SelectionIndex:
     @property
     def staggers(self) -> Tuple[float, ...]:
         return self._staggers
+
+    def stats(self) -> dict:
+        """Lazy-invalidation churn counters plus current live occupancy.
+
+        ``stale_pops`` counts superseded entries discarded at a heap top,
+        ``rebuilds`` the compaction passes, ``pushes`` the entries ever
+        pushed; ``entries`` is the summed current heap occupancy (live
+        plus not-yet-surfaced stale).  Surfaced per benchmark cell in
+        ``benchmarks/results/BENCH_schedulers.json`` and in traced-run
+        manifests.
+        """
+        return {
+            "stale_pops": self.stale_pops,
+            "rebuilds": self.rebuilds,
+            "pushes": self.pushes,
+            "entries": sum(len(heap) for heap in self._heaps),
+        }
 
     def heap_sizes(self) -> dict:
         """Current heap occupancy (monitoring and tests)."""

@@ -107,6 +107,26 @@ class TwoDFQScheduler(VirtualTimeScheduler):
             thread_id, self._eligibility_threshold(vnow)
         )
 
+    # -- tracing hooks ---------------------------------------------------------
+
+    def _trace_stagger(self, thread_id: int) -> float:
+        return thread_id / self._num_threads
+
+    def _trace_eligible_count(self, thread_id: int, vnow: float) -> int:
+        # Tracing only: the staggered eligibility set of Figure 7 line 20
+        # for this specific thread, |{ f : S_f - (i/n) L^f_max <= v }|.
+        stagger = thread_id / self._num_threads
+        threshold = self._eligibility_threshold(vnow)
+        estimate_fn = self._estimator.estimate
+        count = 0
+        for state in self._backlogged.values():
+            estimate = estimate_fn(state.queue[0])
+            if estimate < MIN_COST:
+                estimate = MIN_COST
+            if state.start_tag - stagger * estimate <= threshold:
+                count += 1
+        return count
+
 
 class TwoDFQEScheduler(TwoDFQScheduler):
     """2DFQ^E: 2DFQ with pessimistic cost estimation (Figure 7).

@@ -128,6 +128,7 @@ class VirtualTimeScheduler(Scheduler):
 
     def enqueue(self, request: Request, now: float) -> None:
         state = self._state_for(request)
+        trace = self._trace
         if not state.active:
             # Newly active tenant: join the virtual clock and fast-forward
             # the start tag (Figure 7, lines 2-5).  ``add_weight`` advances
@@ -135,6 +136,15 @@ class VirtualTimeScheduler(Scheduler):
             self._clock.add_weight(state.weight, now)
             state.start_tag = max(state.start_tag, self._clock.value)
             state.active = True
+            if trace is not None:
+                trace.vt_update(
+                    now,
+                    self._clock.value,
+                    state.tenant_id,
+                    reason="tenant_active",
+                    active_weight=self._clock.active_weight,
+                    start_tag=state.start_tag,
+                )
         else:
             self._clock.advance(now)
         state.queue.append(request)
@@ -144,6 +154,18 @@ class VirtualTimeScheduler(Scheduler):
             # A new head request (and possibly a fast-forwarded start
             # tag); deeper enqueues change neither the head nor the tag.
             self._index.touch(state)
+        if trace is not None:
+            trace.enqueue(
+                now,
+                self._clock.value,
+                state.tenant_id,
+                seqno=request.seqno,
+                api=request.api,
+                cost=request.cost,
+                start_tag=state.start_tag,
+                queue_depth=len(state.queue),
+                backlog=self._size,
+            )
 
     def dequeue(self, thread_id: int, now: float) -> Optional[Request]:
         self._check_thread(thread_id)
@@ -156,15 +178,37 @@ class VirtualTimeScheduler(Scheduler):
             state = self._select_indexed(thread_id, vnow)
             if state is None:
                 # Work conservation: requests are queued, so pick something.
+                fallback = True
                 state = self._fallback_indexed(thread_id, vnow)
+            else:
+                fallback = False
         else:
             state = self._select(thread_id, vnow)
             if state is None:
+                fallback = True
                 state = self._fallback(thread_id, vnow)
+            else:
+                fallback = False
         if state is None:
             raise SchedulerError(
                 f"{type(self).__name__} violated work conservation with "
                 f"{self._size} queued requests"
+            )
+        trace = self._trace
+        if trace is not None:
+            trace.select(
+                now,
+                vnow,
+                state.tenant_id,
+                thread=thread_id,
+                policy=self.name,
+                start_tag=state.start_tag,
+                finish_tag=self._finish_tag(state),
+                eligible=self._trace_eligible_count(thread_id, vnow),
+                backlogged=len(self._backlogged),
+                fallback=fallback,
+                stagger=self._trace_stagger(thread_id),
+                indexed=index is not None,
             )
         request = state.queue.popleft()
         if not state.queue:
@@ -181,6 +225,18 @@ class VirtualTimeScheduler(Scheduler):
             else:
                 index.drop(state)
         self._note_dispatched(request, thread_id, now)
+        if trace is not None:
+            trace.dispatch(
+                now,
+                vnow,
+                state.tenant_id,
+                seqno=request.seqno,
+                api=request.api,
+                thread=thread_id,
+                estimate=estimate,
+                start_tag_after=state.start_tag,
+                backlog=self._size,
+            )
         return request
 
     def refresh(self, request: Request, usage: float, now: float) -> None:
@@ -195,6 +251,16 @@ class VirtualTimeScheduler(Scheduler):
             request.credit = 0.0
             if self._index is not None and state.queue:
                 self._index.touch(state)
+            if self._trace is not None:
+                self._trace.vt_update(
+                    now,
+                    self._clock.value,
+                    state.tenant_id,
+                    reason="refresh_charge",
+                    seqno=request.seqno,
+                    usage=usage,
+                    start_tag=state.start_tag,
+                )
 
     def complete(self, request: Request, usage: float, now: float) -> None:
         """Retroactive charging (Figure 7, Complete): reconcile the final
@@ -226,6 +292,19 @@ class VirtualTimeScheduler(Scheduler):
             # Both the start tag and (via observe) the tenant's head
             # estimate may have moved.
             self._index.touch(state)
+        trace = self._trace
+        if trace is not None:
+            trace.complete(
+                now,
+                self._clock.value,
+                state.tenant_id,
+                seqno=request.seqno,
+                api=request.api,
+                actual=request.cost,
+                charged=request.charged_cost,
+                start_tag_after=state.start_tag,
+                running=state.running,
+            )
         if not state.queue and state.running == 0 and state.active:
             # The tenant goes idle.  Figure 7 removes it from the active
             # set as soon as its queue drains; we additionally wait for
@@ -233,6 +312,14 @@ class VirtualTimeScheduler(Scheduler):
             # receiving (and paying for) virtual-clock share.
             state.active = False
             self._clock.remove_weight(state.weight, now)
+            if trace is not None:
+                trace.vt_update(
+                    now,
+                    self._clock.value,
+                    state.tenant_id,
+                    reason="tenant_idle",
+                    active_weight=self._clock.active_weight,
+                )
         super().complete(request, 0.0, now)
 
     # -- policy hooks ---------------------------------------------------------------
@@ -277,6 +364,24 @@ class VirtualTimeScheduler(Scheduler):
         """Indexed counterpart of :meth:`_fallback` (default: smallest
         finish tag from the index)."""
         return self._index.min_finish()
+
+    # -- tracing hooks (only called while a tracer is attached) -----------------
+
+    def _trace_eligible_count(self, thread_id: int, vnow: float) -> int:
+        """Size of this policy's eligibility set at ``vnow`` -- the
+        ``E_now`` of Figure 7, recorded in ``select`` trace events.
+
+        The default (no eligibility gate: WFQ, SFQ) is the whole
+        backlogged set; gated policies override.  Runs only under an
+        attached tracer, so an O(N) scan is acceptable here even in
+        indexed mode.
+        """
+        return len(self._backlogged)
+
+    def _trace_stagger(self, thread_id: int) -> float:
+        """Per-thread eligibility stagger offset recorded in ``select``
+        trace events (2DFQ: ``thread_id / n``; everything else: 0)."""
+        return 0.0
 
     # -- selection primitives shared by the policies -----------------------------------
 

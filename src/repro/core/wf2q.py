@@ -49,3 +49,12 @@ class WF2QScheduler(VirtualTimeScheduler):
         return self._index.min_eligible_finish(
             0, self._eligibility_threshold(vnow)
         )
+
+    def _trace_eligible_count(self, thread_id: int, vnow: float) -> int:
+        # Tracing only: |{ f in A : S_f <= v(now) }|, the all-or-nothing
+        # eligibility set whose emptiness marks fallback dispatches.
+        return sum(
+            1
+            for state in self._backlogged.values()
+            if self._eligible(state.start_tag, vnow)
+        )

@@ -27,6 +27,20 @@ class CostEstimator(ABC):
     #: Human-readable name used in experiment reports.
     name: str = "estimator"
 
+    #: Attached :class:`repro.obs.Tracer`, or ``None``.  A class-level
+    #: default keeps subclass ``__init__`` signatures untouched; the
+    #: instrumentation guard is the same single attribute check the
+    #: schedulers use.
+    _trace = None
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach a tracer; ``estimate`` events are emitted on
+        :meth:`observe` (estimator refreshes).  Disabled tracers are
+        stored as ``None`` to keep the no-op fast path."""
+        self._trace = (
+            tracer if tracer is not None and tracer.enabled else None
+        )
+
     @abstractmethod
     def estimate(self, request: Request) -> float:
         """Return the predicted cost of ``request`` (must be positive)."""
@@ -80,9 +94,20 @@ class KeyedEstimator(CostEstimator):
         key = request.key
         old = self._state.get(key)
         if old is None:
-            self._state[key] = self._initial_state(actual_cost)
+            new = self._initial_state(actual_cost)
         else:
-            self._state[key] = self._update(old, actual_cost)
+            new = self._update(old, actual_cost)
+        self._state[key] = new
+        trace = self._trace
+        if trace is not None:
+            trace.estimate(
+                request.completion_time,
+                request.tenant_id,
+                api=request.api,
+                old=old,
+                new=new,
+                actual=actual_cost,
+            )
 
     def peek(self, tenant_id: str, api: str = "default") -> float:
         """Current estimate for a key without a request object (testing)."""

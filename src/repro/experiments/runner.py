@@ -4,14 +4,25 @@ The runner realizes the paper's methodology: generate the workload once
 (seeded), then run the byte-identical arrival sequence through each
 scheduler, measuring service lag against a GPS reference, latencies,
 Gini index, and the dispatch log.
+
+When a :mod:`repro.obs` trace session is active (the figures CLI's
+``--trace`` flag, or :func:`repro.obs.trace_session` directly), every
+run additionally emits its decision-event stream, a Chrome trace of the
+thread occupancy, and a ``manifest.json`` provenance record -- the
+run-telemetry contract of DESIGN.md §9.  An explicit ``tracer`` can be
+passed instead for programmatic use (the caller then owns the export).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..core.registry import make_scheduler
+from ..core.scheduler import Scheduler
 from ..metrics.collector import MetricsCollector, RunMetrics
+from ..obs.session import current_session
+from ..obs.tracer import Tracer
 from ..simulator.clock import Simulation
 from ..simulator.server import ThreadPoolServer
 from ..workloads.arrivals import OpenLoopProcess
@@ -23,12 +34,31 @@ from .config import ExperimentConfig
 __all__ = ["run_single", "run_comparison", "ComparisonResult"]
 
 
+def _scheduler_manifest(scheduler: Scheduler) -> Dict[str, Any]:
+    """Scheduler parameters for the run manifest (JSON-ready)."""
+    info: Dict[str, Any] = {
+        "name": scheduler.name,
+        "class": type(scheduler).__name__,
+        "num_threads": scheduler.num_threads,
+        "thread_rate": scheduler.thread_rate,
+    }
+    estimator = getattr(scheduler, "estimator", None)
+    if estimator is not None:
+        info["estimator"] = repr(estimator)
+    index = getattr(scheduler, "selection_index", None)
+    info["indexed"] = index is not None
+    if index is not None:
+        info["selection_index"] = index.stats()
+    return info
+
+
 def run_single(
     scheduler_name: str,
     specs: Sequence[TenantSpec],
     config: ExperimentConfig,
     trace: Optional[Sequence[TraceRecord]] = None,
     speed: float = 1.0,
+    tracer: Optional[Tracer] = None,
 ) -> RunMetrics:
     """Run one scheduler over the workload and return its metrics."""
     sim = Simulation()
@@ -51,6 +81,16 @@ def run_single(
         record_dispatches=config.record_dispatches,
         warmup=config.warmup,
     )
+    session = current_session() if tracer is None else None
+    if session is not None:
+        tracer = session.tracer(f"{config.name}--{scheduler_name}")
+    if tracer is not None and tracer.enabled:
+        scheduler.attach_tracer(tracer)
+        estimator = getattr(scheduler, "estimator", None)
+        if estimator is not None:
+            estimator.attach_tracer(tracer)
+        server.attach_tracer(tracer)
+        collector.attach_tracer(tracer)
     attach_specs(
         server,
         specs,
@@ -60,7 +100,16 @@ def run_single(
         trace=trace,
     )
     sim.run(until=config.duration)
-    return collector.result()
+    metrics = collector.result()
+    if session is not None:
+        session.export_run(
+            tracer,
+            dispatch_log=metrics.dispatch_log,
+            seed=config.seed,
+            config=dataclasses.asdict(config),
+            scheduler=_scheduler_manifest(scheduler),
+        )
+    return metrics
 
 
 class ComparisonResult:

@@ -22,6 +22,7 @@ from typing import Dict, List, Tuple
 
 from ..core.registry import make_scheduler
 from ..core.request import Request
+from ..obs.session import current_session
 
 __all__ = ["ScheduledSlot", "worked_example", "render_schedule", "gap_statistics"]
 
@@ -62,6 +63,16 @@ def worked_example(
         scheduler_name, num_threads=num_threads, thread_rate=1.0,
         **scheduler_kwargs,
     )
+    # Under an active --trace session, record the decision events of the
+    # worked example too: fig06's trace is the paper's own 2DFQ table.
+    session = current_session()
+    tracer = None
+    if session is not None:
+        tracer = session.tracer(f"example--{scheduler_name}")
+        scheduler.attach_tracer(tracer)
+        estimator = getattr(scheduler, "estimator", None)
+        if estimator is not None:
+            estimator.attach_tracer(tracer)
     costs = {t: small_cost for t in small_tenants}
     costs.update({t: large_cost for t in large_tenants})
     tenants = list(small_tenants) + list(large_tenants)
@@ -111,6 +122,24 @@ def worked_example(
         heapq.heappush(completions, (end, request.seqno, request))
         heapq.heappush(free_heap, (end, thread_id))
     slots.sort(key=lambda s: (s.start, s.thread_id))
+    if session is not None:
+        session.export_run(
+            tracer,
+            dispatch_log=slots,
+            config={
+                "horizon": horizon,
+                "num_threads": num_threads,
+                "small_cost": small_cost,
+                "large_cost": large_cost,
+                "small_tenants": list(small_tenants),
+                "large_tenants": list(large_tenants),
+            },
+            scheduler={
+                "name": scheduler.name,
+                "class": type(scheduler).__name__,
+                "num_threads": num_threads,
+            },
+        )
     return slots
 
 

@@ -8,6 +8,14 @@ quick interactive exploration::
     python -m repro.figures fig01 fig06
     python -m repro.figures fig08 --duration 10
 
+``--trace DIR`` additionally records run telemetry (DESIGN.md §9): for
+every scheduler run behind the requested figures, ``DIR/<run>/`` gets a
+JSONL decision-event stream, a Chrome-trace JSON of the thread
+occupancy (open in ``chrome://tracing`` or https://ui.perfetto.dev),
+and a ``manifest.json`` with the seed, config, and package provenance::
+
+    python -m repro.figures fig06 --trace traces/
+
 Figure ids match the paper's evaluation figures; see DESIGN.md for the
 index and EXPERIMENTS.md for expected shapes.
 """
@@ -15,8 +23,11 @@ index and EXPERIMENTS.md for expected shapes.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Callable, Dict
+
+from .obs.session import trace_session
 
 
 from .experiments.expensive_requests import (
@@ -174,6 +185,11 @@ def main(argv=None) -> int:
         "--duration", type=float, default=6.0,
         help="simulated seconds per run (default 6; paper scale is 15)",
     )
+    parser.add_argument(
+        "--trace", metavar="DIR", default=None,
+        help="write per-run telemetry (events.jsonl, chrome_trace.json, "
+        "manifest.json) under DIR",
+    )
     args = parser.parse_args(argv)
     if args.figures == ["list"]:
         for fig in sorted(FIGURES):
@@ -182,8 +198,15 @@ def main(argv=None) -> int:
     for fig in args.figures:
         if fig not in FIGURES:
             parser.error(f"unknown figure {fig!r}; try 'list'")
-        print(f"\n===== {fig} =====")
-        print(FIGURES[fig](args))
+    context = (
+        trace_session(args.trace) if args.trace else contextlib.nullcontext()
+    )
+    with context as session:
+        for fig in args.figures:
+            print(f"\n===== {fig} =====")
+            print(FIGURES[fig](args))
+    if args.trace:
+        print(f"\ntrace artifacts: {len(session.runs)} run(s) under {args.trace}")
     return 0
 
 

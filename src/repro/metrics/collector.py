@@ -43,7 +43,26 @@ class DispatchRecord:
 
 
 class MetricsCollector:
-    """Attach to a server *before* starting sources; read results after."""
+    """Attach to a server *before* starting sources; read results after.
+
+    Warmup semantics
+    ----------------
+    ``warmup`` (seconds) excludes the estimator-settling transient from
+    every *statistic* while keeping raw logs complete:
+
+    * **latencies** -- a request contributes only if it *completes* at
+      ``t >= warmup`` (requests in flight across the boundary count,
+      since their tail lies in the measured window);
+    * **service / GPS samples** and **Gini samples** -- the periodic
+      sampler only records at sample times ``t >= warmup`` (the GPS
+      reference itself still integrates from t=0, so post-warmup lag
+      values are exact, not restarted);
+    * **dispatch log** -- never warmup-filtered: the occupancy figures
+      (8b/9b/11b) and Chrome-trace exports need the full timeline.
+
+    ``record_dispatches=False`` drops the dispatch log entirely (the
+    occupancy plots become unavailable but long runs save the memory).
+    """
 
     def __init__(
         self,
@@ -64,13 +83,14 @@ class MetricsCollector:
             GPSReference(server.num_threads * server.rate) if track_gps else None
         )
         self._latencies: Dict[str, List[float]] = {}
-        self._dispatch_log: List[DispatchRecord] = [] if record_dispatches else []
-        self._record_dispatches = record_dispatches
+        self._dispatch_log: List[DispatchRecord] = []
+        self._record_dispatches = bool(record_dispatches)
         self._gini_times: List[float] = []
         self._gini_values: List[float] = []
         self._seen_tenants: set[str] = set()
         self._previous_service: Dict[str, float] = {}
         self._sample_index = 0
+        self._trace = None
         server.on_submit(self._on_submit)
         server.on_dispatch(self._on_dispatch)
         server.on_complete(self._on_complete)
@@ -78,6 +98,13 @@ class MetricsCollector:
         # not accumulation) so no float drift pushes the final sample
         # past the experiment's `until` horizon.
         self._sim.at(self._interval, self._sample)
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach a :class:`repro.obs.Tracer`; the collector contributes
+        sampling counters to its registry."""
+        self._trace = (
+            tracer if tracer is not None and tracer.enabled else None
+        )
 
     # -- listeners ------------------------------------------------------------
 
@@ -126,6 +153,10 @@ class MetricsCollector:
         if now >= self._warmup:
             self._tracker.observe(now, actual, gps)
             self._sample_gini(now, actual)
+        elif self._trace is not None:
+            self._trace.registry.counter("collector.warmup_samples_skipped").inc()
+        if self._trace is not None:
+            self._trace.registry.counter("collector.samples").inc()
         self._previous_service = actual
         self._sample_index += 1
         self._sim.at((self._sample_index + 1) * self._interval, self._sample)
@@ -209,6 +240,19 @@ class RunMetrics:
         return self.latency_stats(tenant_id).p99
 
     # -- occupancy --------------------------------------------------------------
+
+    def write_chrome_trace(self, path, trace_events=(), process_name="repro"):
+        """Export the dispatch log as a Chrome/Perfetto trace -- the
+        interactive version of the occupancy figures (8b/9b/11b).
+        Requires the run to have kept ``record_dispatches=True``."""
+        from ..obs.exporters import write_chrome_trace
+
+        return write_chrome_trace(
+            self.dispatch_log,
+            path,
+            trace_events=trace_events,
+            process_name=process_name,
+        )
 
     def occupancy_matrix(
         self, t_start: float, t_end: float, resolution: float, num_threads: int

@@ -1,0 +1,62 @@
+"""Observability: scheduler-decision tracing, counters, and exporters.
+
+The paper's claims are about scheduler *decisions* -- which tenant won a
+thread and why (tags, eligibility, stagger, estimates).  This package
+makes those decisions observable without perturbing them:
+
+* :class:`Tracer` -- typed decision events (:mod:`repro.obs.events`)
+  emitted by the instrumented schedulers, estimators and simulator; a
+  single ``is not None`` guard when disabled (see the overhead contract
+  in :mod:`repro.obs.tracer`);
+* :class:`MetricsRegistry` -- named counters/gauges/timers with a
+  snapshot API (:mod:`repro.obs.registry`);
+* exporters (:mod:`repro.obs.exporters`) -- JSONL event streams, Chrome
+  trace / Perfetto occupancy timelines, and per-run ``manifest.json``
+  provenance records;
+* :class:`TraceSession` (:mod:`repro.obs.session`) -- the glue that the
+  experiment runner and the ``--trace`` CLI flag use to write all three
+  artifacts per run.
+
+Quickstart::
+
+    from repro.obs import Tracer
+
+    tracer = Tracer("demo")
+    scheduler.attach_tracer(tracer)
+    scheduler.estimator.attach_tracer(tracer)
+    ... run ...
+    tracer.of_kind("select")          # decision events
+    tracer.registry.snapshot()        # counters
+
+or, end to end: ``python -m repro.figures fig06 --trace traces/``.
+"""
+
+from .events import EVENT_KINDS, TraceEvent
+from .exporters import (
+    build_manifest,
+    chrome_trace_events,
+    write_chrome_trace,
+    write_events_jsonl,
+    write_manifest,
+)
+from .registry import Counter, Gauge, MetricsRegistry, Timer
+from .session import TraceSession, current_session, trace_session
+from .tracer import Tracer
+
+__all__ = [
+    "EVENT_KINDS",
+    "TraceEvent",
+    "Tracer",
+    "Counter",
+    "Gauge",
+    "Timer",
+    "MetricsRegistry",
+    "TraceSession",
+    "trace_session",
+    "current_session",
+    "build_manifest",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_events_jsonl",
+    "write_manifest",
+]

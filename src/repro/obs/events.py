@@ -1,0 +1,97 @@
+"""Typed scheduler-decision trace events.
+
+The paper's argument is about *why* a scheduler dispatches what it
+dispatches -- virtual-time tags, eligibility windows, the 2DFQ stagger,
+estimate error under 2DFQ^E -- yet service curves and dispatch logs only
+record *outcomes*.  A :class:`TraceEvent` records the decision state at
+the moment it was used, so a failing fairness or differential test can
+be replayed tag by tag.
+
+Event taxonomy (the ``kind`` field; see DESIGN.md §9):
+
+``enqueue``
+    A request joined its tenant's queue.  Carries the tenant's start tag
+    after any Figure 7 fast-forward, the tenant queue depth, and the
+    global backlog.
+``select``
+    A dequeue decision was made for one worker thread.  Carries the
+    chosen tenant's start/finish tags, the eligibility-set size at the
+    moment of choice, the thread's stagger offset (2DFQ), whether the
+    work-conserving fallback fired, and whether the indexed or the
+    linear selection path ran.
+``dispatch``
+    The chosen request was charged and handed to the thread.  Carries
+    the estimate charged (``l_r``) and the tenant's start tag after the
+    charge (Figure 7, lines 22-24).
+``complete``
+    Retroactive charging reconciled a finished request (paper §5).
+    Carries charged vs actual cost and the resulting estimate error.
+``vt_update``
+    The virtual clock's slope or a tenant's start tag moved outside the
+    dispatch path: tenant activation/deactivation (weight changes) and
+    refresh charging.
+``estimate``
+    A cost estimator absorbed a completed request's measured cost
+    (``observe``); carries the old and new per-(tenant, API) estimates.
+
+Every event also records the simulated wallclock ``t`` and the system
+virtual time ``vt`` at emission, so virtual- and wall-time views line up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "EVENT_KINDS",
+    "ENQUEUE",
+    "SELECT",
+    "DISPATCH",
+    "COMPLETE",
+    "VT_UPDATE",
+    "ESTIMATE",
+    "TraceEvent",
+]
+
+ENQUEUE = "enqueue"
+SELECT = "select"
+DISPATCH = "dispatch"
+COMPLETE = "complete"
+VT_UPDATE = "vt_update"
+ESTIMATE = "estimate"
+
+#: The closed event taxonomy; exporters and tests validate against it.
+EVENT_KINDS: Tuple[str, ...] = (
+    ENQUEUE,
+    SELECT,
+    DISPATCH,
+    COMPLETE,
+    VT_UPDATE,
+    ESTIMATE,
+)
+
+
+@dataclass
+class TraceEvent:
+    """One scheduler-decision event.
+
+    ``data`` holds the kind-specific payload (tags, eligibility counts,
+    estimates); the four header fields are shared by every kind.
+    """
+
+    kind: str
+    t: float
+    vt: Optional[float]
+    tenant: Optional[str]
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flatten to one JSON-ready dict (header fields first)."""
+        out: Dict[str, Any] = {"kind": self.kind, "t": self.t}
+        if self.vt is not None:
+            out["vt"] = self.vt
+        if self.tenant is not None:
+            out["tenant"] = self.tenant
+        out.update(self.data)
+        return out

@@ -1,0 +1,279 @@
+"""Exporters: JSONL event streams, Chrome traces, and run manifests.
+
+Three durable artifacts per traced run (reproducibility-report practice:
+a run that cannot be re-derived from its artifacts is not reproduced):
+
+* ``events.jsonl`` -- the tracer's decision events, one JSON object per
+  line, in emission order.  Greppable, diffable, and the format the
+  golden-trace tests pin.
+* ``chrome_trace.json`` -- the thread-occupancy log in the Chrome
+  trace-event format, loadable in ``chrome://tracing`` or Perfetto, so
+  the schedules behind Figures 8b/9b/11b can be inspected interactively
+  (one timeline row per worker thread, one slice per request, virtual
+  time and backlog as counter tracks).
+* ``manifest.json`` -- everything needed to re-run: seed, configuration,
+  scheduler parameters, package versions, git SHA, plus the counter
+  snapshot of the run.
+
+All functions take duck-typed inputs (anything with the right
+attributes), so this module depends only on the standard library and
+never imports the scheduler or metrics packages.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+__all__ = [
+    "write_events_jsonl",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "build_manifest",
+    "write_manifest",
+]
+
+#: Chrome trace timestamps are microseconds.
+_US = 1e6
+
+
+# -- JSONL event stream ---------------------------------------------------------
+
+
+def write_events_jsonl(events: Iterable[Any], path: Union[str, Path]) -> Path:
+    """Write trace events (or plain dicts) as one JSON object per line."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for event in events:
+            record = event.as_dict() if hasattr(event, "as_dict") else event
+            fh.write(json.dumps(record) + "\n")
+    return path
+
+
+# -- Chrome trace ----------------------------------------------------------------
+
+
+def _record_fields(record: Any) -> Dict[str, Any]:
+    """Normalize a dispatch-log-like record.
+
+    Accepts :class:`~repro.metrics.collector.DispatchRecord`,
+    :class:`~repro.experiments.schedule_examples.ScheduledSlot`, or any
+    object/dict with ``thread_id``, ``start``, ``end`` and optionally
+    ``tenant_id``/``api``/``cost``/``label``.
+    """
+    get = record.get if isinstance(record, dict) else (
+        lambda key, default=None: getattr(record, key, default)
+    )
+    tenant = get("tenant_id", "?")
+    label = get("label", None)
+    api = get("api", None)
+    start = float(get("start"))
+    end = float(get("end"))
+    cost = get("cost", None)
+    name = label or (f"{tenant}/{api}" if api else str(tenant))
+    return {
+        "thread_id": int(get("thread_id")),
+        "tenant": tenant,
+        "name": name,
+        "api": api,
+        "start": start,
+        "end": end,
+        "cost": end - start if cost is None else float(cost),
+    }
+
+
+def chrome_trace_events(
+    dispatch_log: Iterable[Any],
+    trace_events: Iterable[Any] = (),
+    process_name: str = "repro",
+) -> List[Dict[str, Any]]:
+    """Build the Chrome ``traceEvents`` list.
+
+    ``dispatch_log`` becomes complete (``"ph": "X"``) slices, one
+    timeline row per worker thread.  ``trace_events`` (the tracer's
+    decision events, optional) contribute ``virtual_time`` and
+    ``backlog`` counter tracks sampled at every dispatch.
+    """
+    out: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    threads_seen = set()
+    slices: List[Dict[str, Any]] = []
+    for record in dispatch_log:
+        fields = _record_fields(record)
+        tid = fields["thread_id"]
+        threads_seen.add(tid)
+        slices.append(
+            {
+                "name": fields["name"],
+                "cat": "request",
+                "ph": "X",
+                "ts": fields["start"] * _US,
+                "dur": max(0.0, fields["end"] - fields["start"]) * _US,
+                "pid": 1,
+                "tid": tid,
+                "args": {"tenant": fields["tenant"], "cost": fields["cost"]},
+            }
+        )
+    for tid in sorted(threads_seen):
+        out.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": f"worker-{tid}"},
+            }
+        )
+        out.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"sort_index": tid},
+            }
+        )
+    out.extend(slices)
+    for event in trace_events:
+        record = event.as_dict() if hasattr(event, "as_dict") else event
+        if record.get("kind") != "dispatch":
+            continue
+        ts = record["t"] * _US
+        out.append(
+            {
+                "name": "virtual_time",
+                "ph": "C",
+                "ts": ts,
+                "pid": 1,
+                "args": {"vt": record.get("vt", 0.0)},
+            }
+        )
+        out.append(
+            {
+                "name": "backlog",
+                "ph": "C",
+                "ts": ts,
+                "pid": 1,
+                "args": {"queued": record.get("backlog", 0)},
+            }
+        )
+    return out
+
+
+def write_chrome_trace(
+    dispatch_log: Iterable[Any],
+    path: Union[str, Path],
+    trace_events: Iterable[Any] = (),
+    process_name: str = "repro",
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write a Chrome/Perfetto-loadable trace (JSON object format)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "traceEvents": chrome_trace_events(
+            dispatch_log, trace_events, process_name=process_name
+        ),
+        "displayTimeUnit": "ms",
+        "otherData": metadata or {},
+    }
+    path.write_text(json.dumps(payload) + "\n")
+    return path
+
+
+# -- manifest ----------------------------------------------------------------------
+
+
+def _git_sha() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def _package_versions() -> Dict[str, str]:
+    versions = {"python": platform.python_version()}
+    try:
+        import numpy
+
+        versions["numpy"] = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        pass
+    try:
+        from repro import __version__
+
+        versions["repro"] = __version__
+    except ImportError:  # pragma: no cover
+        pass
+    return versions
+
+
+def build_manifest(
+    *,
+    name: str,
+    seed: Optional[int] = None,
+    config: Optional[Dict[str, Any]] = None,
+    scheduler: Optional[Dict[str, Any]] = None,
+    counters: Optional[Dict[str, Any]] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the provenance record of one run (JSON-ready)."""
+    manifest: Dict[str, Any] = {
+        "name": name,
+        "seed": seed,
+        "config": config or {},
+        "scheduler": scheduler or {},
+        "versions": _package_versions(),
+        "platform": {
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "git_sha": _git_sha(),
+        "argv": list(sys.argv),
+    }
+    if counters:
+        manifest["counters"] = counters
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def write_manifest(path: Union[str, Path], **kwargs) -> Path:
+    """Build and write ``manifest.json`` (kwargs as for
+    :func:`build_manifest`)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    manifest = build_manifest(**kwargs)
+    path.write_text(json.dumps(_jsonable(manifest), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion to JSON-serializable structures."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

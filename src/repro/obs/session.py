@@ -1,0 +1,119 @@
+"""Trace sessions: wire tracing through the experiment harness.
+
+A :class:`TraceSession` owns an output directory and hands out one
+:class:`~repro.obs.tracer.Tracer` per run.  The experiment runner
+(:func:`repro.experiments.runner.run_single`) and the worked-example
+sequencer consult the *active* session -- set with the
+:func:`trace_session` context manager, which is what the figures CLI's
+``--trace`` flag uses -- so every run they execute while a session is
+active automatically lands on disk as::
+
+    <dir>/<run-label>/events.jsonl        decision event stream
+    <dir>/<run-label>/chrome_trace.json   thread occupancy (chrome://tracing)
+    <dir>/<run-label>/manifest.json       seed / config / versions / git SHA
+
+The session is process-global and experiments are single-threaded (the
+simulator is a discrete-event loop), so a plain module global suffices.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import re
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from .exporters import write_chrome_trace, write_events_jsonl, write_manifest
+from .tracer import Tracer
+
+__all__ = ["TraceSession", "trace_session", "current_session"]
+
+_ACTIVE: Optional["TraceSession"] = None
+
+
+def current_session() -> Optional["TraceSession"]:
+    """The active trace session, or ``None`` when tracing is off."""
+    return _ACTIVE
+
+
+class TraceSession:
+    """Collects the traced runs of one CLI/harness invocation."""
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        max_events: Optional[int] = 1_000_000,
+    ) -> None:
+        self.directory = Path(directory)
+        self.max_events = max_events
+        self.runs: List[str] = []
+
+    def tracer(self, label: str) -> Tracer:
+        """A fresh enabled tracer for one run."""
+        return Tracer(self._slug(label), max_events=self.max_events)
+
+    def export_run(
+        self,
+        tracer: Tracer,
+        *,
+        dispatch_log: Any = (),
+        seed: Optional[int] = None,
+        config: Optional[Dict[str, Any]] = None,
+        scheduler: Optional[Dict[str, Any]] = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Write one run's artifacts; returns the run directory."""
+        run_dir = self._unique_dir(tracer.name)
+        write_events_jsonl(tracer.events, run_dir / "events.jsonl")
+        write_chrome_trace(
+            dispatch_log,
+            run_dir / "chrome_trace.json",
+            trace_events=tracer.events,
+            process_name=tracer.name,
+            metadata={"run": tracer.name},
+        )
+        counters = tracer.registry.snapshot()
+        counters["trace.events"] = len(tracer.events)
+        counters["trace.dropped_events"] = tracer.dropped_events
+        write_manifest(
+            run_dir / "manifest.json",
+            name=tracer.name,
+            seed=seed,
+            config=config,
+            scheduler=scheduler,
+            counters=counters,
+            extra=extra,
+        )
+        self.runs.append(run_dir.name)
+        return run_dir
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _slug(label: str) -> str:
+        return re.sub(r"[^A-Za-z0-9._+-]+", "-", label).strip("-") or "run"
+
+    def _unique_dir(self, name: str) -> Path:
+        run_dir = self.directory / name
+        suffix = 1
+        while run_dir.exists():
+            suffix += 1
+            run_dir = self.directory / f"{name}-{suffix}"
+        run_dir.mkdir(parents=True)
+        return run_dir
+
+
+@contextlib.contextmanager
+def trace_session(
+    directory: Union[str, Path],
+    max_events: Optional[int] = 1_000_000,
+) -> Iterator[TraceSession]:
+    """Activate a :class:`TraceSession` for the duration of the block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    session = TraceSession(directory, max_events=max_events)
+    _ACTIVE = session
+    try:
+        yield session
+    finally:
+        _ACTIVE = previous

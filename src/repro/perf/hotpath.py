@@ -19,18 +19,25 @@ Results are persisted as ``BENCH_schedulers.json`` (see
 trajectory is tracked from PR to PR.  Wallclock timings vary with the
 host, so treat absolute requests/sec as indicative; the indexed/linear
 ratio is the stable signal.
+
+Each indexed cell also reports the :class:`SelectionIndex`'s
+lazy-invalidation churn (stale pops, heap rebuilds, pushes), so the
+index's bookkeeping cost is tracked alongside the throughput it buys.
+The schedulers run with no tracer attached -- the shipped default -- so
+these numbers double as the disabled-tracer overhead measurement the
+observability contract is held to (DESIGN.md §9).
 """
 
 from __future__ import annotations
 
 import json
 import platform
-import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core import make_scheduler
 from ..core.request import Request
+from ..obs.registry import Timer
 from ..simulator.rng import make_rng
 
 __all__ = [
@@ -107,6 +114,8 @@ def measure_dequeue_throughput(
     rng = make_rng(seed, "hotpath-costs", scheduler_name, str(num_tenants))
     replacement_costs = 10.0 ** rng.uniform(0.0, 4.0, ops)
     best = float("inf")
+    timer = Timer(f"hotpath.{scheduler_name}.{num_tenants}")
+    scheduler = None
     for _ in range(max(1, repeats)):
         scheduler = make_scheduler(
             scheduler_name,
@@ -128,17 +137,16 @@ def measure_dequeue_throughput(
         enqueue = scheduler.enqueue
         dt = 1e-4
         now = 0.0
-        started = time.perf_counter()
-        for i, replacement in enumerate(replacements):
-            now += dt
-            out = dequeue(i % num_threads, now)
-            complete(out, out.cost, now)
-            replacement.tenant_id = out.tenant_id
-            replacement.api = out.api
-            enqueue(replacement, now)
-        elapsed = time.perf_counter() - started
-        best = min(best, elapsed)
-    return {
+        with timer:
+            for i, replacement in enumerate(replacements):
+                now += dt
+                out = dequeue(i % num_threads, now)
+                complete(out, out.cost, now)
+                replacement.tenant_id = out.tenant_id
+                replacement.api = out.api
+                enqueue(replacement, now)
+        best = min(best, timer.last)
+    record: Dict[str, Union[str, int, float, bool, Dict[str, int]]] = {
         "scheduler": scheduler_name,
         "tenants": num_tenants,
         "threads": num_threads,
@@ -147,6 +155,12 @@ def measure_dequeue_throughput(
         "seconds": best,
         "rps": ops / best if best > 0 else float("inf"),
     }
+    index = getattr(scheduler, "selection_index", None)
+    if index is not None:
+        # Churn of the final repetition; the workload is deterministic,
+        # so every repetition churns identically.
+        record["index_stats"] = index.stats()
+    return record
 
 
 def run_hotpath_suite(
@@ -180,6 +194,7 @@ def run_hotpath_suite(
                 indexed=False,
                 repeats=repeats,
             )
+            stats = indexed.get("index_stats", {})
             rows.append(
                 {
                     "scheduler": name,
@@ -189,6 +204,11 @@ def run_hotpath_suite(
                     "indexed_rps": round(indexed["rps"], 1),
                     "linear_rps": round(linear["rps"], 1),
                     "speedup": round(indexed["rps"] / linear["rps"], 2),
+                    # SelectionIndex lazy-invalidation churn for the
+                    # indexed run (absolute counts over ``ops`` cycles).
+                    "stale_pops": stats.get("stale_pops", 0),
+                    "heap_rebuilds": stats.get("rebuilds", 0),
+                    "heap_pushes": stats.get("pushes", 0),
                 }
             )
     return {
@@ -202,7 +222,10 @@ def run_hotpath_suite(
             "note": (
                 "rps = full dispatch cycles (dequeue+complete+enqueue) per "
                 "wallclock second with N tenants continuously backlogged; "
-                "speedup = indexed_rps / linear_rps"
+                "speedup = indexed_rps / linear_rps; stale_pops/"
+                "heap_rebuilds/heap_pushes = SelectionIndex lazy-"
+                "invalidation churn of the indexed run; no tracer "
+                "attached (disabled-tracing default)"
             ),
         },
         "results": rows,
@@ -213,13 +236,15 @@ def format_results(payload: Dict) -> str:
     """Render the suite results as an aligned text table."""
     lines = [
         f"{'scheduler':<10} {'tenants':>7} {'linear rps':>12} "
-        f"{'indexed rps':>12} {'speedup':>8}"
+        f"{'indexed rps':>12} {'speedup':>8} {'stale pops':>11} "
+        f"{'rebuilds':>9}"
     ]
     for row in payload["results"]:
         lines.append(
             f"{row['scheduler']:<10} {row['tenants']:>7} "
             f"{row['linear_rps']:>12.1f} {row['indexed_rps']:>12.1f} "
-            f"{row['speedup']:>7.2f}x"
+            f"{row['speedup']:>7.2f}x {row.get('stale_pops', 0):>11} "
+            f"{row.get('heap_rebuilds', 0):>9}"
         )
     return "\n".join(lines)
 

@@ -115,6 +115,9 @@ class ThreadPoolServer:
         )
         self._refresh_interval = refresh_interval
         self._refresh_scheduled = False
+        #: Attached :class:`repro.obs.Tracer` or ``None``; same
+        #: single-attribute-check overhead contract as the schedulers.
+        self._trace = None
         self._submit_listeners: List[RequestListener] = []
         self._dispatch_listeners: List[RequestListener] = []
         self._complete_listeners: List[RequestListener] = []
@@ -134,6 +137,15 @@ class ThreadPoolServer:
     def on_complete(self, fn: RequestListener) -> None:
         """Register a callback fired when a request finishes."""
         self._complete_listeners.append(fn)
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach a :class:`repro.obs.Tracer`; the server contributes
+        refresh-charging counters and a busy-worker gauge to the
+        tracer's registry (the decision *events* come from the
+        scheduler).  Disabled tracers are stored as ``None``."""
+        self._trace = (
+            tracer if tracer is not None and tracer.enabled else None
+        )
 
     # -- ingress ------------------------------------------------------------------
 
@@ -243,6 +255,7 @@ class ThreadPoolServer:
         request's usage since the last report to the scheduler."""
         now = self.sim.now
         any_busy = False
+        reports = 0
         for worker in self.workers:
             request = worker.request
             if request is None:
@@ -252,6 +265,13 @@ class ThreadPoolServer:
             if usage > 0.0:
                 self.scheduler.refresh(request, usage, now)
                 worker.last_report = now
+                reports += 1
+        trace = self._trace
+        if trace is not None:
+            registry = trace.registry
+            registry.counter("server.refresh_ticks").inc()
+            registry.counter("server.refresh_reports").inc(reports)
+            registry.gauge("server.busy_workers").set(self.busy_workers)
         self._refresh_scheduled = False
         # Keep ticking while there is work; the timer re-arms on the next
         # submit otherwise, so an idle server costs no events.

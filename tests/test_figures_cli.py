@@ -27,3 +27,31 @@ class TestCLI:
         out = capsys.readouterr().out
         assert out.count("=====") >= 2
         assert "a1 c1 d1" in out  # the 2DFQ partitioned schedule
+
+    def test_trace_flag_exports_run_telemetry(self, capsys, tmp_path):
+        import json
+
+        trace_dir = tmp_path / "traces"
+        assert main(["fig06", "--trace", str(trace_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "trace artifacts" in out
+        runs = [p for p in trace_dir.iterdir() if p.is_dir()]
+        assert len(runs) == 1
+        run_dir = runs[0]
+        assert "2dfq" in run_dir.name
+        events = [
+            json.loads(line)
+            for line in (run_dir / "events.jsonl").read_text().splitlines()
+        ]
+        assert any(e["kind"] == "select" for e in events)
+        chrome = json.loads((run_dir / "chrome_trace.json").read_text())
+        assert chrome["traceEvents"]
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["counters"]["scheduler.dispatches"] > 0
+        assert manifest["scheduler"]["name"] == "2dfq"
+
+    def test_without_trace_flag_nothing_is_written(self, capsys, tmp_path):
+        from repro.obs import current_session
+
+        assert main(["fig06"]) == 0
+        assert current_session() is None

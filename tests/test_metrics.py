@@ -187,6 +187,52 @@ class TestCollector:
         result = collector.result()
         assert result.service_series("A").times.min() >= 1.0
 
+    def _warmup_run(self, warmup):
+        sim = Simulation()
+        scheduler = make_scheduler("wfq", num_threads=1, thread_rate=10.0)
+        server = ThreadPoolServer(
+            sim, scheduler, num_threads=1, rate=10.0, refresh_interval=None
+        )
+        collector = MetricsCollector(
+            server, sample_interval=0.1, warmup=warmup
+        )
+        BackloggedSource(server, "A", lambda: ("x", 1.0), window=1).start()
+        BackloggedSource(server, "B", lambda: ("y", 1.0), window=1).start()
+        sim.run(until=2.0)
+        return collector.result()
+
+    def test_warmup_excludes_latency_samples(self):
+        full = self._warmup_run(warmup=0.0)
+        trimmed = self._warmup_run(warmup=1.0)
+        # Only completions at t >= warmup count; roughly half survive.
+        assert 0 < trimmed.latency_stats("A").count < full.latency_stats("A").count
+        # Warmup spanning the whole run leaves no latency samples.
+        assert self._warmup_run(warmup=2.5).latency_stats("A").empty
+
+    def test_warmup_excludes_gini_samples(self):
+        full = self._warmup_run(warmup=0.0)
+        trimmed = self._warmup_run(warmup=1.0)
+        assert 0 < trimmed.gini_values.size < full.gini_values.size
+        assert trimmed.gini_times.min() >= 1.0
+
+    def test_record_dispatches_off_yields_empty_log(self):
+        # Regression: the log must actually stay empty (and not merely
+        # start empty) when dispatch recording is disabled.
+        sim = Simulation()
+        scheduler = make_scheduler("wfq", num_threads=1, thread_rate=10.0)
+        server = ThreadPoolServer(
+            sim, scheduler, num_threads=1, rate=10.0, refresh_interval=None
+        )
+        collector = MetricsCollector(
+            server, sample_interval=0.1, record_dispatches=False
+        )
+        BackloggedSource(server, "A", lambda: ("x", 1.0), window=1).start()
+        sim.run(until=1.0)
+        result = collector.result()
+        assert result.dispatch_log == []
+        # The rest of the metrics are unaffected.
+        assert result.latency_stats("A").count > 0
+
     def test_invalid_interval(self):
         sim = Simulation()
         scheduler = make_scheduler("wfq", num_threads=1)

@@ -1,0 +1,181 @@
+"""Exporter and trace-session tests: JSONL, Chrome trace, manifest."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    TraceEvent,
+    TraceSession,
+    Tracer,
+    build_manifest,
+    chrome_trace_events,
+    current_session,
+    trace_session,
+    write_chrome_trace,
+    write_events_jsonl,
+    write_manifest,
+)
+
+VALID_PHASES = {"M", "X", "C"}
+
+
+def _dispatch_log():
+    return [
+        {"thread_id": 0, "tenant_id": "A", "api": "op", "start": 0.0, "end": 1.0},
+        {"thread_id": 1, "tenant_id": "B", "api": "op", "start": 0.0, "end": 4.0},
+        {"thread_id": 0, "tenant_id": "A", "api": "op", "start": 1.0, "end": 2.0},
+    ]
+
+
+def _events():
+    return [
+        TraceEvent("dispatch", 0.0, 0.0, "A", {"backlog": 2}),
+        TraceEvent("dispatch", 1.0, 1.0, "A", {"backlog": 1}),
+    ]
+
+
+class TestEventsJsonl:
+    def test_round_trips(self, tmp_path):
+        path = write_events_jsonl(_events(), tmp_path / "events.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["kind"] == "dispatch"
+        assert first["tenant"] == "A"
+
+    def test_accepts_plain_dicts(self, tmp_path):
+        path = write_events_jsonl([{"kind": "x"}], tmp_path / "e.jsonl")
+        assert json.loads(path.read_text()) == {"kind": "x"}
+
+
+class TestChromeTrace:
+    def test_schema(self, tmp_path):
+        path = write_chrome_trace(
+            _dispatch_log(),
+            tmp_path / "trace.json",
+            trace_events=_events(),
+            process_name="test-run",
+        )
+        payload = json.loads(path.read_text())
+        assert set(payload) >= {"traceEvents", "displayTimeUnit"}
+        events = payload["traceEvents"]
+        assert isinstance(events, list) and events
+        for event in events:
+            assert event["ph"] in VALID_PHASES
+            assert event["pid"] == 1
+            if event["ph"] == "X":
+                assert isinstance(event["ts"], float)
+                assert event["dur"] >= 0.0
+
+    def test_slices_and_metadata(self):
+        events = chrome_trace_events(_dispatch_log(), process_name="p")
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(slices) == 3
+        # Timestamps are microseconds.
+        assert slices[1]["dur"] == pytest.approx(4.0e6)
+        names = {
+            e["name"]: e["args"] for e in events if e["ph"] == "M"
+        }
+        assert names["process_name"] == {"name": "p"}
+        assert "thread_name" in names
+        # One timeline row per seen worker thread.
+        tids = {e["tid"] for e in slices}
+        assert tids == {0, 1}
+
+    def test_counter_tracks_from_trace_events(self):
+        events = chrome_trace_events(_dispatch_log(), trace_events=_events())
+        counters = [e for e in events if e["ph"] == "C"]
+        assert {e["name"] for e in counters} == {"virtual_time", "backlog"}
+
+    def test_duck_types_objects_with_label(self):
+        class Slot:
+            thread_id = 0
+            start = 0.0
+            end = 2.0
+            tenant_id = "A"
+            label = "a1"
+
+        (slice_,) = [
+            e for e in chrome_trace_events([Slot()]) if e["ph"] == "X"
+        ]
+        assert slice_["name"] == "a1"
+
+
+class TestManifest:
+    def test_required_fields(self, tmp_path):
+        path = write_manifest(
+            tmp_path / "manifest.json",
+            name="run",
+            seed=7,
+            config={"duration": 2.0},
+            scheduler={"name": "2dfq"},
+            counters={"scheduler.dispatches": 3},
+        )
+        manifest = json.loads(path.read_text())
+        assert manifest["name"] == "run"
+        assert manifest["seed"] == 7
+        assert manifest["config"]["duration"] == 2.0
+        assert manifest["scheduler"]["name"] == "2dfq"
+        assert manifest["counters"]["scheduler.dispatches"] == 3
+        assert "python" in manifest["versions"]
+        assert "machine" in manifest["platform"]
+        # In this repo the git SHA resolves; outside one it may be None.
+        assert "git_sha" in manifest
+
+    def test_non_jsonable_values_fall_back_to_repr(self, tmp_path):
+        path = write_manifest(
+            tmp_path / "m.json", name="r", config={"obj": object()}
+        )
+        manifest = json.loads(path.read_text())
+        assert "object" in manifest["config"]["obj"]
+
+    def test_build_manifest_defaults(self):
+        manifest = build_manifest(name="x")
+        assert manifest["config"] == {}
+        assert manifest["scheduler"] == {}
+        assert "counters" not in manifest
+
+
+class TestTraceSession:
+    def test_export_run_writes_three_artifacts(self, tmp_path):
+        session = TraceSession(tmp_path)
+        tracer = session.tracer("demo run/1")
+        tracer.dispatch(
+            0.0, 0.0, "A", seqno=0, api="x", thread=0, estimate=1.0,
+            start_tag_after=1.0, backlog=1,
+        )
+        run_dir = session.export_run(
+            tracer, dispatch_log=_dispatch_log(), seed=3, config={"d": 1}
+        )
+        for artifact in ("events.jsonl", "chrome_trace.json", "manifest.json"):
+            assert (run_dir / artifact).exists()
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["counters"]["trace.events"] == 1
+        assert manifest["counters"]["trace.dropped_events"] == 0
+        assert manifest["counters"]["scheduler.dispatches"] == 1
+        assert session.runs == [run_dir.name]
+
+    def test_run_labels_are_slugged_and_unique(self, tmp_path):
+        session = TraceSession(tmp_path)
+        first = session.export_run(session.tracer("fig (a)"))
+        second = session.export_run(session.tracer("fig (a)"))
+        assert first != second
+        assert " " not in first.name and "(" not in first.name
+
+    def test_session_tracers_cap_events(self, tmp_path):
+        session = TraceSession(tmp_path, max_events=1)
+        tracer = session.tracer("t")
+        tracer.vt_update(0.0, 0.0, None, reason="a")
+        tracer.vt_update(1.0, 1.0, None, reason="b")
+        assert len(tracer) == 1
+        assert tracer.dropped_events == 1
+
+    def test_context_manager_sets_and_restores(self, tmp_path):
+        assert current_session() is None
+        with trace_session(tmp_path) as session:
+            assert current_session() is session
+            with trace_session(tmp_path / "inner") as inner:
+                assert current_session() is inner
+            assert current_session() is session
+        assert current_session() is None

@@ -1,0 +1,282 @@
+"""Tracer semantics, scheduler instrumentation, and the golden trace.
+
+The golden-file test pins the *exact* decision-event stream of a tiny
+seeded 2-tenant 2DFQ run against ``tests/data/golden_2dfq_trace.jsonl``.
+The scenario is the paper's Figure 5/6 premise shrunk to two tenants: A
+sends unit-cost requests, B sends cost-4 requests, two unit-rate worker
+threads, equal weights.  Under 2DFQ thread 0 (stagger 0) runs the small
+requests and thread 1 (stagger 1/2) the large ones, and every start/
+finish tag in between is hand-checkable.
+
+Regenerate after an *intentional* semantics change with::
+
+    PYTHONPATH=src:tests python -c \
+        "from test_obs_tracer import write_golden; write_golden()"
+"""
+
+import heapq
+import itertools
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.core.request as request_module
+from repro.core import make_scheduler
+from repro.core.request import Request
+from repro.estimation.pessimistic import PessimisticEstimator
+from repro.obs import EVENT_KINDS, TraceEvent, Tracer
+
+GOLDEN = Path(__file__).parent / "data" / "golden_2dfq_trace.jsonl"
+
+
+def run_golden_example():
+    """The tiny seeded 2-tenant 2DFQ run behind the golden trace.
+
+    Deterministic worked-example sequencer: both tenants enqueue before
+    the first dispatch, threads are offered work in ascending index
+    order, every dispatched request is immediately replaced so both
+    tenants stay backlogged, completions are delivered in time order.
+    Caller must reset ``repro.core.request._SEQUENCE`` first so seqnos
+    are stable.
+    """
+    scheduler = make_scheduler("2dfq", num_threads=2, thread_rate=1.0)
+    tracer = Tracer("golden-2dfq")
+    scheduler.attach_tracer(tracer)
+    costs = {"A": 1.0, "B": 4.0}
+
+    def enqueue(tenant, now):
+        scheduler.enqueue(Request(tenant_id=tenant, cost=costs[tenant]), now)
+
+    for tenant in ("A", "B"):
+        enqueue(tenant, 0.0)
+    free_heap = [(0.0, 0), (0.0, 1)]
+    heapq.heapify(free_heap)
+    completions = []
+    while free_heap:
+        now, thread_id = heapq.heappop(free_heap)
+        if now >= 8.0:
+            continue
+        while completions and completions[0][0] <= now:
+            end, _, done = heapq.heappop(completions)
+            scheduler.complete(done, done.cost, end)
+        request = scheduler.dequeue(thread_id, now)
+        end = now + request.cost
+        enqueue(request.tenant_id, now)
+        heapq.heappush(completions, (end, request.seqno, request))
+        heapq.heappush(free_heap, (end, thread_id))
+    return tracer
+
+
+def write_golden():
+    """Regenerate the committed golden trace (intentional changes only)."""
+    request_module._SEQUENCE = itertools.count()
+    tracer = run_golden_example()
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    with GOLDEN.open("w") as fh:
+        for event in tracer.events:
+            fh.write(json.dumps(event.as_dict()) + "\n")
+
+
+class TestTracerSemantics:
+    def test_emit_and_of_kind(self):
+        tracer = Tracer("t")
+        tracer.vt_update(0.0, 0.0, "A", reason="tenant_active")
+        tracer.vt_update(1.0, 1.0, None, reason="refresh_charge")
+        assert len(tracer) == 2
+        assert [e.kind for e in tracer] == ["vt_update", "vt_update"]
+        assert len(tracer.of_kind("vt_update")) == 2
+        assert tracer.of_kind("dispatch") == []
+
+    def test_disabled_tracer_drops_everything(self):
+        tracer = Tracer("t", enabled=False)
+        tracer.emit(TraceEvent("enqueue", 0.0, 0.0, "A", {}))
+        tracer.dispatch(
+            0.0, 0.0, "A", seqno=0, api="x", thread=0, estimate=1.0,
+            start_tag_after=1.0, backlog=1,
+        )
+        assert len(tracer) == 0
+
+    def test_max_events_counts_overflow(self):
+        tracer = Tracer("t", max_events=2)
+        for i in range(5):
+            tracer.vt_update(float(i), 0.0, None, reason="r")
+        assert len(tracer) == 2
+        assert tracer.dropped_events == 3
+
+    def test_typed_emitters_update_counters(self):
+        tracer = Tracer("t")
+        tracer.dispatch(
+            0.0, 0.0, "A", seqno=0, api="x", thread=0, estimate=1.0,
+            start_tag_after=1.0, backlog=1,
+        )
+        tracer.complete(
+            1.0, 1.0, "A", seqno=0, api="x", actual=1.5, charged=1.0,
+            start_tag_after=1.0, running=0,
+        )
+        tracer.estimate(1.0, "A", api="x", old=1.0, new=1.25, actual=1.5)
+        snap = tracer.registry.snapshot()
+        assert snap["scheduler.dispatches"] == 1
+        assert snap["scheduler.completions"] == 1
+        assert snap["estimator.refreshes"] == 1
+        # The completion event carries the estimate error.
+        (complete,) = tracer.of_kind("complete")
+        assert complete.data["error"] == pytest.approx(-0.5)
+
+    def test_event_as_dict_headers_first(self):
+        event = TraceEvent("select", 1.0, 2.0, "A", {"thread": 0})
+        record = event.as_dict()
+        assert list(record)[:4] == ["kind", "t", "vt", "tenant"]
+        assert record["thread"] == 0
+
+    def test_as_dict_omits_absent_header_fields(self):
+        record = TraceEvent("estimate", 1.0, None, None, {"api": "x"}).as_dict()
+        assert "vt" not in record and "tenant" not in record
+
+
+class TestAttachSemantics:
+    def test_attach_none_and_disabled_keep_fast_path(self):
+        scheduler = make_scheduler("2dfq", num_threads=2)
+        assert scheduler.tracer is None
+        scheduler.attach_tracer(None)
+        assert scheduler._trace is None
+        scheduler.attach_tracer(Tracer("t", enabled=False))
+        assert scheduler._trace is None
+
+    def test_attach_enabled_tracer(self):
+        scheduler = make_scheduler("2dfq", num_threads=2)
+        tracer = Tracer("t")
+        scheduler.attach_tracer(tracer)
+        assert scheduler.tracer is tracer
+
+    def test_untraced_run_emits_nothing(self):
+        # The default: no tracer, every site is one attribute check.
+        scheduler = make_scheduler("2dfq", num_threads=1)
+        scheduler.enqueue(Request(tenant_id="A", cost=1.0), 0.0)
+        request = scheduler.dequeue(0, 0.0)
+        scheduler.complete(request, request.cost, 1.0)
+        assert scheduler.tracer is None
+
+
+class TestInstrumentedRun:
+    def test_event_kinds_covered_and_well_formed(self):
+        scheduler = make_scheduler(
+            "2dfq-e",
+            num_threads=2,
+            estimator=PessimisticEstimator(),
+        )
+        tracer = Tracer("run")
+        scheduler.attach_tracer(tracer)
+        scheduler.estimator.attach_tracer(tracer)
+        for i in range(4):
+            scheduler.enqueue(
+                Request(tenant_id=f"T{i % 2}", cost=1.0 + i, api="op"), 0.0
+            )
+        now = 0.0
+        for _ in range(4):
+            now += 1.0
+            request = scheduler.dequeue(0, now)
+            # The server stamps completion_time before complete().
+            request.completion_time = now + 0.5
+            scheduler.complete(request, request.cost, now + 0.5)
+        kinds = {event.kind for event in tracer}
+        assert kinds == set(EVENT_KINDS)
+        for event in tracer:
+            assert event.kind in EVENT_KINDS
+            assert event.t >= 0.0
+        # One select+dispatch pair per dequeue, in order.
+        selects = tracer.of_kind("select")
+        dispatches = tracer.of_kind("dispatch")
+        assert len(selects) == len(dispatches) == 4
+        assert tracer.registry.snapshot()["scheduler.dispatches"] == 4
+
+    def test_select_event_carries_decision_state(self):
+        scheduler = make_scheduler("2dfq", num_threads=2)
+        tracer = Tracer("run")
+        scheduler.attach_tracer(tracer)
+        scheduler.enqueue(Request(tenant_id="A", cost=1.0), 0.0)
+        scheduler.enqueue(Request(tenant_id="B", cost=4.0), 0.0)
+        scheduler.dequeue(1, 0.0)
+        (select,) = tracer.of_kind("select")
+        assert select.data["thread"] == 1
+        assert select.data["policy"] == "2dfq"
+        assert select.data["stagger"] == pytest.approx(0.5)
+        assert select.data["backlogged"] == 2
+        assert select.data["indexed"] is True
+        assert isinstance(select.data["fallback"], bool)
+
+    def test_refresh_charging_traced(self):
+        scheduler = make_scheduler("wfq", num_threads=1)
+        tracer = Tracer("run")
+        scheduler.attach_tracer(tracer)
+        scheduler.enqueue(Request(tenant_id="A", cost=4.0), 0.0)
+        request = scheduler.dequeue(0, 0.0)
+        # Report more interim usage than the pre-paid credit.
+        scheduler.refresh(request, 5.0, 1.0)
+        refreshes = [
+            e for e in tracer.of_kind("vt_update")
+            if e.data["reason"] == "refresh_charge"
+        ]
+        assert len(refreshes) == 1
+        assert refreshes[0].data["usage"] == pytest.approx(5.0)
+        scheduler.complete(request, request.cost, 2.0)
+
+
+class TestGoldenTrace:
+    @pytest.fixture(autouse=True)
+    def _fresh_seqnos(self, monkeypatch):
+        monkeypatch.setattr(request_module, "_SEQUENCE", itertools.count())
+
+    def test_matches_committed_golden_file(self):
+        tracer = run_golden_example()
+        produced = [event.as_dict() for event in tracer.events]
+        with GOLDEN.open() as fh:
+            expected = [json.loads(line) for line in fh]
+        assert len(produced) == len(expected)
+        for i, (got, want) in enumerate(zip(produced, expected)):
+            assert got == want, f"event {i} diverged"
+
+    def test_pinned_worked_example_values(self):
+        # Hand-derived from the paper's tag arithmetic: capacity 2,
+        # active weight 2, so v advances at 1/s.  Both tenants start at
+        # S=0; A's head finish tag is 1, B's is 4.
+        tracer = run_golden_example()
+        selects = tracer.of_kind("select")
+        first, second = selects[0], selects[1]
+        # Thread 0 (stagger 0): both eligible at v=0, min finish = A.
+        assert first.tenant == "A"
+        assert first.data["thread"] == 0
+        assert first.data["stagger"] == pytest.approx(0.0)
+        assert first.data["eligible"] == 2
+        assert first.data["start_tag"] == pytest.approx(0.0)
+        assert first.data["finish_tag"] == pytest.approx(1.0)
+        # Thread 1 (stagger 1/2): A's replacement has S=1, staggered
+        # 1 - 0.5*1 = 0.5 > v=0, so only B (0 - 0.5*4 = -2) is eligible
+        # -- the large request lands on the staggered thread.
+        assert second.tenant == "B"
+        assert second.data["thread"] == 1
+        assert second.data["stagger"] == pytest.approx(0.5)
+        assert second.data["eligible"] == 1
+        assert second.data["finish_tag"] == pytest.approx(4.0)
+        # 2DFQ keeps the partition for the whole horizon: thread 0
+        # serves only A, thread 1 only B.
+        for select in selects:
+            expected_tenant = "A" if select.data["thread"] == 0 else "B"
+            assert select.tenant == expected_tenant
+        # Charging moves the start tag by estimate/weight at every
+        # dispatch (Figure 7, lines 22-24).
+        for dispatch in tracer.of_kind("dispatch"):
+            assert dispatch.data["start_tag_after"] == pytest.approx(
+                dispatch.data["estimate"]
+                + next(
+                    s.data["start_tag"]
+                    for s in selects
+                    if s.data.get("thread") == dispatch.data["thread"]
+                    and s.t == dispatch.t
+                )
+            )
+
+    def test_golden_covers_expected_kinds(self):
+        tracer = run_golden_example()
+        kinds = {event.kind for event in tracer}
+        assert kinds == {"vt_update", "enqueue", "select", "dispatch", "complete"}
