@@ -10,9 +10,33 @@ committed bench output is inspectable.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Shared provenance/measurement record; several benches contribute
+#: top-level sections, so writers must merge, never clobber.
+BENCH_MANIFEST = RESULTS_DIR / "BENCH_manifest.json"
+
+
+def read_bench_manifest() -> dict:
+    """The committed BENCH_manifest.json, or {} if absent/corrupt."""
+    try:
+        return json.loads(BENCH_MANIFEST.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {}
+
+
+def merge_bench_manifest(**sections) -> None:
+    """Update top-level sections of BENCH_manifest.json in place,
+    preserving sections owned by other benchmark modules."""
+    manifest = read_bench_manifest()
+    manifest.update(sections)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    BENCH_MANIFEST.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    )
 
 
 def emit(capsys, figure_id: str, text: str) -> None:

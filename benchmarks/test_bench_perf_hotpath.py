@@ -35,7 +35,7 @@ import statistics
 from repro.obs import write_manifest
 from repro.perf import format_results, run_hotpath_suite, write_results
 
-from conftest import RESULTS_DIR, emit, once
+from conftest import RESULTS_DIR, emit, once, read_bench_manifest
 
 #: Where the perf trajectory lives; committed alongside the figure text.
 BENCH_JSON = RESULTS_DIR / "BENCH_schedulers.json"
@@ -85,12 +85,19 @@ def test_bench_perf_hotpath(benchmark, capsys):
         lambda: run_hotpath_suite(ops=ops_env or None),
     )
     write_results(payload, BENCH_JSON)
+    # write_manifest replaces the file wholesale; carry over sections
+    # other bench modules own (the parallel-engine timings).
+    preserved = {
+        key: value
+        for key, value in read_bench_manifest().items()
+        if key == "parallel_engine"
+    }
     write_manifest(
         BENCH_MANIFEST,
         name="scheduler-hotpath-dequeue-throughput",
         seed=payload["meta"]["seed"],
         config={k: v for k, v in payload["meta"].items() if k != "note"},
-        extra={"results_file": BENCH_JSON.name},
+        extra={"results_file": BENCH_JSON.name, **preserved},
     )
     overhead, skip_reason = _overhead_vs_baseline(baseline, payload)
     overhead_note = (

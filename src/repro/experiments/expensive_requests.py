@@ -69,6 +69,8 @@ def run_expensive_requests(
     num_expensive: int = 50,
     total_tenants: int = 100,
     config: ExperimentConfig | None = None,
+    jobs: int | None = None,
+    cache=None,
 ) -> ComparisonResult:
     """Run the Figure 8a/8b workload (default: 50% expensive tenants)."""
     if config is None:
@@ -76,7 +78,7 @@ def run_expensive_requests(
     specs = expensive_requests_population(
         num_small=total_tenants - num_expensive, total=total_tenants
     )
-    return run_comparison(specs, config)
+    return run_comparison(specs, config, jobs=jobs, cache=cache)
 
 
 @dataclass
@@ -101,6 +103,8 @@ def sigma_vs_expensive(
     expensive_counts: Sequence[int] = (0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 99),
     total_tenants: int = 100,
     config: ExperimentConfig | None = None,
+    jobs: int | None = None,
+    cache=None,
 ) -> SigmaSweepResult:
     """Sweep the expensive-tenant count and measure sigma(lag) of the
     small probe tenant (Figure 8c).
@@ -118,6 +122,8 @@ def sigma_vs_expensive(
             num_expensive=n_expensive,
             total_tenants=total_tenants,
             config=config,
+            jobs=jobs,
+            cache=cache,
         )
         for name in config.schedulers:
             sigmas[name].append(

@@ -149,8 +149,14 @@ def run_production(
     open_loop_utilization: float = 1.2,
     speed: float = 1.0,
     named_mode: str = "open-loop",
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> ComparisonResult:
-    """Run the Figure 9/10 experiment."""
+    """Run the Figure 9/10 experiment.
+
+    ``jobs``/``cache`` forward to the parallel engine behind
+    :func:`run_comparison` (default: the active execution context).
+    """
     if config is None:
         config = production_config()
     specs = production_specs(
@@ -162,7 +168,9 @@ def run_production(
     trace = production_trace(
         specs, config, open_loop_utilization=open_loop_utilization, speed=speed
     )
-    return run_comparison(specs, config, trace=trace, speed=speed)
+    return run_comparison(
+        specs, config, trace=trace, speed=speed, jobs=jobs, cache=cache
+    )
 
 
 # ---------------------------------------------------------------------------

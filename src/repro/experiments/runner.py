@@ -16,7 +16,10 @@ passed instead for programmatic use (the caller then owns the export).
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:
+    from ..parallel.cache import RunCache
 
 from ..core.registry import make_scheduler
 from ..core.scheduler import Scheduler
@@ -145,17 +148,39 @@ def run_comparison(
     config: ExperimentConfig,
     trace: Optional[Sequence[TraceRecord]] = None,
     speed: float = 1.0,
+    jobs: Optional[int] = None,
+    cache: Optional["RunCache"] = None,
 ) -> ComparisonResult:
     """Run every configured scheduler over the identical workload.
 
     Open-loop specs are materialized into a single trace up front so all
     schedulers see the same arrivals; closed-loop (backlogged) specs are
     re-seeded identically per run, so their cost sequences match too.
+
+    Each scheduler run is one independent :class:`~repro.parallel.RunSpec`
+    cell handed to :func:`repro.parallel.run_cells`: with ``jobs > 1``
+    the runs fan out over pool workers (results merge in scheduler
+    order, bit-identical to serial), and with a
+    :class:`~repro.parallel.RunCache` repeated invocations deserialize
+    instead of re-simulating.  Both default to the active
+    :func:`~repro.parallel.execution_context` (serial, uncached).
     """
+    from ..parallel.engine import run_cells
+    from ..parallel.spec import RunSpec
+
     open_loop = [s for s in specs if isinstance(s.arrivals, OpenLoopProcess)]
     if trace is None and open_loop:
         trace = generate_trace(open_loop, config.duration * speed, seed=config.seed)
-    runs: Dict[str, RunMetrics] = {}
-    for name in config.schedulers:
-        runs[name] = run_single(name, specs, config, trace=trace, speed=speed)
+    cells = [
+        RunSpec(
+            scheduler=name,
+            specs=tuple(specs),
+            config=config,
+            trace=tuple(trace) if trace is not None else None,
+            speed=speed,
+        )
+        for name in config.schedulers
+    ]
+    metrics = run_cells(cells, jobs=jobs, cache=cache)
+    runs: Dict[str, RunMetrics] = dict(zip(config.schedulers, metrics))
     return ComparisonResult(config, runs, specs)

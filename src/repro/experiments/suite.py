@@ -20,9 +20,12 @@ used for the committed results.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from ..parallel.cache import RunCache
 
 from ..metrics.latency import speedup
 from ..simulator.rng import make_rng
@@ -31,12 +34,12 @@ from ..workloads.azure import NAMED_TENANT_IDS, backlogged_variant, named_tenant
 from ..workloads.distributions import NormalCost
 from ..workloads.spec import TenantSpec
 from .config import ExperimentConfig
-from .runner import run_comparison
 from .unpredictable import _scrambled_trace
 
 __all__ = [
     "SuiteParameters",
     "SuiteExperiment",
+    "SuiteCell",
     "SuiteResult",
     "sample_experiment",
     "run_suite",
@@ -186,53 +189,131 @@ class SuiteResult:
         return median if median >= 1.0 else -1.0 / median
 
 
+def _suite_config(
+    experiment: SuiteExperiment,
+    params: SuiteParameters,
+    schedulers: Sequence[str],
+    initial_estimate: float,
+) -> ExperimentConfig:
+    """The shared per-experiment configuration of one suite cell."""
+    return ExperimentConfig(
+        name=f"suite-{experiment.index}",
+        schedulers=tuple(schedulers),
+        num_threads=experiment.num_threads,
+        thread_rate=params.thread_rate,
+        duration=params.duration,
+        sample_interval=0.1,
+        refresh_interval=0.01,
+        seed=params.seed + experiment.index,
+        initial_estimate=initial_estimate,
+        record_dispatches=False,
+    )
+
+
+def _suite_trace(
+    experiment: SuiteExperiment,
+    params: SuiteParameters,
+    specs: Sequence[TenantSpec],
+    config: ExperimentConfig,
+):
+    """Materialize the (seeded, hence reproducible) cell trace."""
+    fraction = (
+        experiment.num_unpredictable / experiment.num_replay
+        if experiment.num_replay
+        else 0.0
+    )
+    return _scrambled_trace(
+        specs,
+        config,
+        unpredictable_fraction=fraction,
+        open_loop_utilization=params.open_loop_utilization,
+        speed=experiment.replay_speed,
+    )
+
+
+@dataclass(frozen=True)
+class SuiteCell:
+    """One (experiment x scheduler) cell of the Figure 13 suite.
+
+    The cell carries only the suite parameters and its coordinates --
+    the tenant population and trace are regenerated *inside*
+    :meth:`execute` from the same seeded streams the serial path uses,
+    so a pool worker needs a few hundred bytes of pickle rather than
+    the materialized trace, and the cache key stays small and stable.
+    """
+
+    index: int
+    params: SuiteParameters
+    scheduler: str
+    tenants: Tuple[str, ...]
+    initial_estimate: float
+
+    def label(self) -> str:
+        return f"suite-{self.index}--{self.scheduler}"
+
+    def execute(self) -> Dict[str, float]:
+        """Run the cell; returns tenant -> p99 latency (seconds)."""
+        from .runner import run_single
+
+        experiment = sample_experiment(self.index, self.params)
+        config = _suite_config(
+            experiment, self.params, (self.scheduler,), self.initial_estimate
+        )
+        specs = _experiment_specs(experiment, config.seed)
+        trace = _suite_trace(experiment, self.params, specs, config)
+        metrics = run_single(
+            self.scheduler,
+            specs,
+            config,
+            trace=trace,
+            speed=experiment.replay_speed,
+        )
+        return {t: metrics.latency_p99(t) for t in self.tenants}
+
+
 def run_suite(
     params: Optional[SuiteParameters] = None,
     schedulers: Sequence[str] = SUITE_SCHEDULERS,
     tenants: Sequence[str] = NAMED_TENANT_IDS,
     initial_estimate: float = 1000.0,
+    jobs: Optional[int] = None,
+    cache: Optional["RunCache"] = None,
 ) -> SuiteResult:
     """Run the randomized suite and collect per-tenant p99 latencies.
 
     Pass a scaled-down :class:`SuiteParameters` for quick runs -- shape
     is preserved at far smaller scale than the paper's 150x15s.
+
+    The suite is embarrassingly parallel: every (experiment, scheduler)
+    pair is an independent :class:`SuiteCell` fanned out through
+    :func:`repro.parallel.run_cells`.  Results merge by cell index, so
+    ``jobs=N`` produces numerically identical :attr:`SuiteResult.p99`
+    to ``jobs=1`` for any ``N``; with a cache, re-running the suite (or
+    widening it) only executes cells whose keys are new.
     """
+    from ..parallel.engine import run_cells
+
     if params is None:
         params = SuiteParameters()
+    schedulers = tuple(schedulers)
     result = SuiteResult(params=params)
-    for index in range(params.num_experiments):
-        experiment = sample_experiment(index, params)
-        config = ExperimentConfig(
-            name=f"suite-{index}",
-            schedulers=tuple(schedulers),
-            num_threads=experiment.num_threads,
-            thread_rate=params.thread_rate,
-            duration=params.duration,
-            sample_interval=0.1,
-            refresh_interval=0.01,
-            seed=params.seed + experiment.index,
+    cells = [
+        SuiteCell(
+            index=index,
+            params=params,
+            scheduler=name,
+            tenants=tuple(tenants),
             initial_estimate=initial_estimate,
-            record_dispatches=False,
         )
-        specs = _experiment_specs(experiment, config.seed)
-        fraction = (
-            experiment.num_unpredictable / experiment.num_replay
-            if experiment.num_replay
-            else 0.0
-        )
-        trace = _scrambled_trace(
-            specs,
-            config,
-            unpredictable_fraction=fraction,
-            open_loop_utilization=params.open_loop_utilization,
-            speed=experiment.replay_speed,
-        )
-        comparison = run_comparison(
-            specs, config, trace=trace, speed=experiment.replay_speed
-        )
+        for index in range(params.num_experiments)
+        for name in schedulers
+    ]
+    outputs = run_cells(cells, jobs=jobs, cache=cache)
+    per_cell = iter(outputs)
+    for index in range(params.num_experiments):
+        result.experiments.append(sample_experiment(index, params))
         record: Dict[str, Dict[str, float]] = {}
-        for name, run in comparison.runs.items():
-            record[name] = {t: run.latency_p99(t) for t in tenants}
-        result.experiments.append(experiment)
+        for name in schedulers:
+            record[name] = next(per_cell)
         result.p99.append(record)
     return result

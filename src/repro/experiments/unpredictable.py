@@ -106,6 +106,8 @@ def run_unpredictable(
     open_loop_utilization: float = 1.2,
     speed: float = 1.0,
     named_mode: str = "backlogged",
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> ComparisonResult:
     """Run one unpredictability level of the §6.2.1 experiment.
 
@@ -125,7 +127,9 @@ def run_unpredictable(
     trace = _scrambled_trace(
         specs, config, unpredictable_fraction, open_loop_utilization, speed
     )
-    return run_comparison(specs, config, trace=trace, speed=speed)
+    return run_comparison(
+        specs, config, trace=trace, speed=speed, jobs=jobs, cache=cache
+    )
 
 
 @dataclass
@@ -159,6 +163,8 @@ def run_unpredictable_sweep(
     open_loop_utilization: float = 1.2,
     speed: float = 1.0,
     named_mode: str = "backlogged",
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> UnpredictableSweep:
     """The full Figure 11/12 sweep over unpredictability levels."""
     sweep = UnpredictableSweep(fractions=list(fractions))
@@ -172,6 +178,8 @@ def run_unpredictable_sweep(
                 open_loop_utilization=open_loop_utilization,
                 speed=speed,
                 named_mode=named_mode,
+                jobs=jobs,
+                cache=cache,
             )
         )
     return sweep

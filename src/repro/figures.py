@@ -8,6 +8,14 @@ quick interactive exploration::
     python -m repro.figures fig01 fig06
     python -m repro.figures fig08 --duration 10
 
+``--jobs N`` fans the independent scheduler runs behind each figure out
+over ``N`` worker processes, and ``--cache DIR`` reuses previously
+computed runs from a content-addressed on-disk cache (DESIGN.md §10) --
+regenerating an already-computed figure then costs deserialization, not
+simulation.  Output is bit-identical to a serial, uncached run::
+
+    python -m repro.figures fig08 fig09 --jobs 4 --cache runcache/
+
 ``--trace DIR`` additionally records run telemetry (DESIGN.md §9): for
 every scheduler run behind the requested figures, ``DIR/<run>/`` gets a
 JSONL decision-event stream, a Chrome-trace JSON of the thread
@@ -28,6 +36,7 @@ import sys
 from typing import Callable, Dict
 
 from .obs.session import trace_session
+from .parallel import RunCache, execution_context
 
 
 from .experiments.expensive_requests import (
@@ -188,7 +197,17 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--trace", metavar="DIR", default=None,
         help="write per-run telemetry (events.jsonl, chrome_trace.json, "
-        "manifest.json) under DIR",
+        "manifest.json) under DIR; requires --jobs 1",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the independent runs behind each "
+        "figure (default 1 = serial; output is identical for any N)",
+    )
+    parser.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="content-addressed run cache directory; already-computed "
+        "runs are loaded instead of re-simulated",
     )
     args = parser.parse_args(argv)
     if args.figures == ["list"]:
@@ -198,15 +217,29 @@ def main(argv=None) -> int:
     for fig in args.figures:
         if fig not in FIGURES:
             parser.error(f"unknown figure {fig!r}; try 'list'")
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.trace and args.jobs > 1:
+        parser.error(
+            "--trace requires --jobs 1: tracing is process-global and "
+            "pool workers run with tracing disabled (DESIGN.md §10)"
+        )
+    cache = RunCache(args.cache) if args.cache else None
     context = (
         trace_session(args.trace) if args.trace else contextlib.nullcontext()
     )
     with context as session:
-        for fig in args.figures:
-            print(f"\n===== {fig} =====")
-            print(FIGURES[fig](args))
+        with execution_context(jobs=args.jobs, cache=cache):
+            for fig in args.figures:
+                print(f"\n===== {fig} =====")
+                print(FIGURES[fig](args))
     if args.trace:
         print(f"\ntrace artifacts: {len(session.runs)} run(s) under {args.trace}")
+    if cache is not None:
+        print(
+            f"\nrun cache: {cache.hits} hit(s), {cache.misses} miss(es), "
+            f"{cache.stores} stored under {cache.directory}"
+        )
     return 0
 
 

@@ -40,7 +40,7 @@ from .exporters import (
     write_manifest,
 )
 from .registry import Counter, Gauge, MetricsRegistry, Timer
-from .session import TraceSession, current_session, trace_session
+from .session import TraceSession, clear_session, current_session, trace_session
 from .tracer import Tracer
 
 __all__ = [
@@ -54,6 +54,7 @@ __all__ = [
     "TraceSession",
     "trace_session",
     "current_session",
+    "clear_session",
     "build_manifest",
     "chrome_trace_events",
     "write_chrome_trace",

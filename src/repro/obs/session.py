@@ -19,6 +19,7 @@ simulator is a discrete-event loop), so a plain module global suffices.
 from __future__ import annotations
 
 import contextlib
+import dataclasses
 import re
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Union
@@ -26,7 +27,7 @@ from typing import Any, Dict, Iterator, List, Optional, Union
 from .exporters import write_chrome_trace, write_events_jsonl, write_manifest
 from .tracer import Tracer
 
-__all__ = ["TraceSession", "trace_session", "current_session"]
+__all__ = ["TraceSession", "trace_session", "current_session", "clear_session"]
 
 _ACTIVE: Optional["TraceSession"] = None
 
@@ -34,6 +35,18 @@ _ACTIVE: Optional["TraceSession"] = None
 def current_session() -> Optional["TraceSession"]:
     """The active trace session, or ``None`` when tracing is off."""
     return _ACTIVE
+
+
+def clear_session() -> None:
+    """Deactivate any active session (tracing off until re-entered).
+
+    Pool workers of :mod:`repro.parallel.engine` call this from their
+    initializer: a session inherited through ``fork`` must never write
+    artifacts from a worker (DESIGN.md §10), so workers always run with
+    tracing disabled.
+    """
+    global _ACTIVE
+    _ACTIVE = None
 
 
 class TraceSession:
@@ -83,6 +96,41 @@ class TraceSession:
             scheduler=scheduler,
             counters=counters,
             extra=extra,
+        )
+        self.runs.append(run_dir.name)
+        return run_dir
+
+    def export_cached_run(
+        self,
+        label: str,
+        *,
+        key: str,
+        cell: Any = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Record a run served from the content-addressed cache.
+
+        No simulation executed, so there are no events or occupancy to
+        export; honesty demands the provenance record say exactly that.
+        The run directory gets a ``manifest.json`` whose ``cache`` block
+        carries the hit status and the content key, and (when the cell
+        exposes them) the config/seed the cached result corresponds to.
+        """
+        run_dir = self._unique_dir(self._slug(f"{label}--cached"))
+        config = getattr(cell, "config", None)
+        manifest_extra: Dict[str, Any] = {
+            "cache": {"status": "hit", "key": key}
+        }
+        if extra:
+            manifest_extra.update(extra)
+        write_manifest(
+            run_dir / "manifest.json",
+            name=run_dir.name,
+            seed=getattr(config, "seed", None),
+            config=dataclasses.asdict(config)
+            if dataclasses.is_dataclass(config) and not isinstance(config, type)
+            else None,
+            extra=manifest_extra,
         )
         self.runs.append(run_dir.name)
         return run_dir

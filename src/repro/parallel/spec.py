@@ -1,0 +1,115 @@
+"""Picklable run specifications and canonical encoding for cache keys.
+
+A *cell* is one independent unit of simulation work: everything needed
+to execute it (workload specs, experiment config, scheduler name, seed)
+travels inside one picklable object, so the execution engine can hand it
+to a pool worker or hash it into a content-addressed cache key without
+knowing what kind of experiment it is.  The engine's contract is
+structural: a cell is any picklable object with an ``execute()`` method;
+cells that are dataclasses get canonical encoding (and therefore cache
+keys) for free via :func:`canonicalize`.
+
+:class:`RunSpec` is the canonical cell: one scheduler over one workload,
+exactly the work :func:`repro.experiments.runner.run_single` does.  The
+suite defines its own denser cell (regenerating the trace inside the
+worker) in :mod:`repro.experiments.suite`.
+
+Determinism contract
+--------------------
+Every cell must be a pure function of its fields: all randomness flows
+through ``make_rng(seed, *key)`` component streams, so executing a cell
+in a pool worker, in-process, or on another machine yields bit-identical
+results.  This is what makes ``jobs=N`` output merge-identical to serial
+execution and what makes cached results trustworthy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # imported lazily at run time to avoid package cycles
+    from ..experiments.config import ExperimentConfig
+    from ..workloads.spec import TenantSpec
+    from ..workloads.trace import TraceRecord
+
+__all__ = ["RunSpec", "canonicalize"]
+
+
+def canonicalize(obj: Any) -> Any:
+    """Deterministic JSON-able encoding of a cell and its workload graph.
+
+    Handles the whole object vocabulary of the experiment layer:
+    dataclasses (``TenantSpec``, ``ExperimentConfig``, ``TraceRecord``,
+    arrival processes) encode as ``{"__kind__": ClassName, **fields}``;
+    plain parameter objects (the cost distributions) encode their public
+    ``__dict__``; containers recurse with dict keys sorted.  Derived or
+    private state (leading-underscore attributes) is excluded, so e.g. a
+    ``LogNormalCost``'s cached ``_mu`` never leaks into the key.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return obj
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return [canonicalize(v) for v in obj.tolist()]
+    if isinstance(obj, dict):
+        return {
+            str(k): canonicalize(v)
+            for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        items = sorted(obj, key=repr) if isinstance(obj, (set, frozenset)) else obj
+        return [canonicalize(v) for v in items]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out: Dict[str, Any] = {"__kind__": type(obj).__name__}
+        for field in dataclasses.fields(obj):
+            out[field.name] = canonicalize(getattr(obj, field.name))
+        return out
+    if hasattr(obj, "__dict__"):
+        out = {"__kind__": type(obj).__name__}
+        for key, value in sorted(vars(obj).items()):
+            if not key.startswith("_"):
+                out[key] = canonicalize(value)
+        return out
+    raise TypeError(
+        f"cannot canonicalize {type(obj).__name__!r} for a cache key; "
+        "give it public attributes or make it a dataclass"
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class RunSpec:
+    """One (scheduler x workload) simulation cell.
+
+    Executing a ``RunSpec`` is exactly one :func:`run_single` call; the
+    frozen tuple fields make the spec hashable, picklable, and safe to
+    share between the parent process and pool workers (workers get a
+    pickled copy, so nothing they do can leak back).
+    """
+
+    scheduler: str
+    specs: Tuple[TenantSpec, ...]
+    config: ExperimentConfig
+    trace: Optional[Tuple[TraceRecord, ...]] = None
+    speed: float = 1.0
+
+    def label(self) -> str:
+        """Human-readable run label (trace-session directory naming)."""
+        return f"{self.config.name}--{self.scheduler}"
+
+    def execute(self):
+        """Run the cell; returns :class:`repro.metrics.collector.RunMetrics`."""
+        from ..experiments.runner import run_single
+
+        return run_single(
+            self.scheduler,
+            list(self.specs),
+            self.config,
+            trace=list(self.trace) if self.trace is not None else None,
+            speed=self.speed,
+        )

@@ -43,6 +43,17 @@ class Simulation:
     def events_processed(self) -> int:
         return self._events_processed
 
+    @property
+    def cancelled_backlog(self) -> int:
+        """Cancelled-but-unpurged entries in the event heap (the memory
+        cost of lazy cancellation; exported as an obs gauge)."""
+        return self._queue.cancelled_backlog
+
+    @property
+    def event_purges(self) -> int:
+        """Compaction passes the event heap has performed."""
+        return self._queue.purges
+
     # -- scheduling -------------------------------------------------------------
 
     def at(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:

@@ -5,6 +5,16 @@ guarantees FIFO ordering among events scheduled for the same instant,
 which keeps every simulation fully deterministic.  Cancellation is lazy:
 cancelled events stay in the heap and are skipped on pop, the standard
 O(1)-cancel technique for simulation heaps.
+
+Lazy cancellation trades memory for speed, so the backlog of cancelled
+entries is (a) observable -- :attr:`EventQueue.cancelled_backlog` feeds
+the ``events.cancelled_backlog`` obs gauge -- and (b) bounded by a
+purge heuristic: when the dead entries outnumber the live ones *and*
+exceed ``purge_threshold``, the heap is compacted in one O(n) pass.
+Compaction preserves the exact ``(time, seq)`` keys, so the pop order
+(and therefore every simulation result) is unchanged; the heuristic's
+two conditions together guarantee amortized O(1) cost per cancel while
+capping the heap at twice its live size (plus the threshold floor).
 """
 
 from __future__ import annotations
@@ -15,7 +25,11 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from ..errors import SimulationError
 
-__all__ = ["EventHandle", "EventQueue"]
+__all__ = ["EventHandle", "EventQueue", "DEFAULT_PURGE_THRESHOLD"]
+
+#: Minimum cancelled backlog before compaction is considered; keeps tiny
+#: queues from compacting constantly when a few timers churn.
+DEFAULT_PURGE_THRESHOLD = 64
 
 
 class EventHandle:
@@ -46,12 +60,18 @@ class EventHandle:
 class EventQueue:
     """Min-heap of timed callbacks with lazy cancellation."""
 
-    __slots__ = ("_heap", "_seq", "_live")
+    __slots__ = ("_heap", "_seq", "_live", "_purge_threshold", "_purges")
 
-    def __init__(self) -> None:
+    def __init__(self, purge_threshold: int = DEFAULT_PURGE_THRESHOLD) -> None:
+        if purge_threshold < 1:
+            raise SimulationError(
+                f"purge_threshold must be >= 1, got {purge_threshold}"
+            )
         self._heap: List[Tuple[float, int, EventHandle]] = []
         self._seq = itertools.count()
         self._live = 0
+        self._purge_threshold = purge_threshold
+        self._purges = 0
 
     def __len__(self) -> int:
         """Number of pending (non-cancelled) events."""
@@ -59,6 +79,21 @@ class EventQueue:
 
     def __bool__(self) -> bool:
         return self._live > 0
+
+    @property
+    def cancelled_backlog(self) -> int:
+        """Cancelled entries still occupying heap slots (the memory cost
+        of lazy cancellation; exported as an obs gauge)."""
+        return len(self._heap) - self._live
+
+    @property
+    def purges(self) -> int:
+        """Number of compaction passes performed so far."""
+        return self._purges
+
+    @property
+    def purge_threshold(self) -> int:
+        return self._purge_threshold
 
     def push(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at ``time`` and return a handle."""
@@ -72,6 +107,13 @@ class EventQueue:
         if not handle.cancelled:
             handle.cancel()
             self._live -= 1
+            # Purge heuristic: compact when dead entries both exceed the
+            # threshold and outnumber live ones.  Each compaction removes
+            # >= backlog/2 entries that each paid O(1) at cancel time, so
+            # the amortized cost stays O(1) per cancellation.
+            backlog = len(self._heap) - self._live
+            if backlog > self._purge_threshold and backlog > self._live:
+                self._compact()
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest pending event, or ``None`` when empty."""
@@ -93,3 +135,14 @@ class EventQueue:
         heap = self._heap
         while heap and heap[0][2].cancelled:
             heapq.heappop(heap)
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry in one pass.
+
+        Entries keep their original ``(time, seq)`` keys, so heap pops
+        after compaction yield the identical sequence a non-compacted
+        queue would -- compaction can never perturb simulation results.
+        """
+        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._purges += 1

@@ -28,6 +28,7 @@ import itertools
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError, SimulationError
+from .events import DEFAULT_PURGE_THRESHOLD
 
 __all__ = ["GPSReference"]
 
@@ -54,9 +55,17 @@ class GPSReference:
     :meth:`advance`-ing to the sample time.
     """
 
-    def __init__(self, capacity: float) -> None:
+    def __init__(
+        self,
+        capacity: float,
+        purge_threshold: int = DEFAULT_PURGE_THRESHOLD,
+    ) -> None:
         if capacity <= 0:
             raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        if purge_threshold < 1:
+            raise ConfigurationError(
+                f"purge_threshold must be >= 1, got {purge_threshold}"
+            )
         self._capacity = float(capacity)
         self._virtual = 0.0
         self._wallclock = 0.0
@@ -66,6 +75,13 @@ class GPSReference:
         # (empty_at) never fall through to comparing _Flow objects.
         self._heap: List[Tuple[float, int, int, _Flow]] = []
         self._entry_seq = itertools.count()
+        # Lazy-invalidation bookkeeping: every re-arrival of an active
+        # flow supersedes its previous heap entry; the stale count is
+        # exact, and the same outnumber-the-live + threshold heuristic
+        # as the event queue bounds the heap at ~2x the active flows.
+        self._stale_entries = 0
+        self._purge_threshold = purge_threshold
+        self._purges = 0
 
     # -- observation -----------------------------------------------------------
 
@@ -84,6 +100,24 @@ class GPSReference:
     @property
     def active_weight(self) -> float:
         return self._active_weight
+
+    @property
+    def stale_entries(self) -> int:
+        """Superseded heap entries not yet dropped (lazy invalidation)."""
+        return self._stale_entries
+
+    @property
+    def heap_size(self) -> int:
+        return len(self._heap)
+
+    @property
+    def purges(self) -> int:
+        """Number of heap compaction passes performed so far."""
+        return self._purges
+
+    @property
+    def purge_threshold(self) -> int:
+        return self._purge_threshold
 
     def backlog(self, flow_id: str) -> float:
         """Remaining fluid backlog of a flow at the current time."""
@@ -117,6 +151,8 @@ class GPSReference:
             return
         if flow.active:
             flow.empty_at += cost / flow.weight
+            # The flow's previous heap entry is now superseded.
+            self._stale_entries += 1
         else:
             flow.active = True
             self._active_weight += flow.weight
@@ -125,6 +161,9 @@ class GPSReference:
         heapq.heappush(
             self._heap, (flow.empty_at, next(self._entry_seq), flow.version, flow)
         )
+        live = len(self._heap) - self._stale_entries
+        if self._stale_entries > self._purge_threshold and self._stale_entries > live:
+            self._compact()
 
     def advance(self, to_time: float) -> None:
         """Evolve the fluid system to wallclock ``to_time``."""
@@ -167,6 +206,27 @@ class GPSReference:
             _, _, version, flow = heap[0]
             if not flow.active or version != flow.version:
                 heapq.heappop(heap)
+                if self._stale_entries > 0:
+                    self._stale_entries -= 1
                 continue
             return flow
         return None
+
+    def _compact(self) -> None:
+        """Rebuild the heap from the active flows' current entries.
+
+        Unlike the event queue, entry keys are not preserved -- each
+        active flow gets a fresh sequence number -- but that cannot
+        change results: at most one entry per flow is live, ties on
+        ``empty_at`` drain at the same instant, and service is a pure
+        function of ``(arrived, empty_at, virtual)``, none of which
+        compaction touches.
+        """
+        self._heap = [
+            (flow.empty_at, next(self._entry_seq), flow.version, flow)
+            for flow in self._flows.values()
+            if flow.active
+        ]
+        heapq.heapify(self._heap)
+        self._stale_entries = 0
+        self._purges += 1

@@ -272,6 +272,10 @@ class ThreadPoolServer:
             registry.counter("server.refresh_ticks").inc()
             registry.counter("server.refresh_reports").inc(reports)
             registry.gauge("server.busy_workers").set(self.busy_workers)
+            registry.gauge("events.cancelled_backlog").set(
+                self.sim.cancelled_backlog
+            )
+            registry.gauge("events.purges").set(self.sim.event_purges)
         self._refresh_scheduled = False
         # Keep ticking while there is work; the timer re-arms on the next
         # submit otherwise, so an idle server costs no events.

@@ -69,3 +69,86 @@ class TestCancellation:
         q.cancel(handles[4])
         assert len(q) == 3
         assert bool(q)
+
+
+class TestPurgeHeuristic:
+    """Pin the lazy-cancel compaction: dead entries must both exceed the
+    threshold and outnumber the live ones before the heap is rebuilt."""
+
+    def test_backlog_tracks_cancelled_entries(self):
+        q = EventQueue(purge_threshold=100)
+        handles = [q.push(float(i), lambda: None) for i in range(10)]
+        assert q.cancelled_backlog == 0
+        for h in handles[:4]:
+            q.cancel(h)
+        assert q.cancelled_backlog == 4
+        assert len(q) == 6
+
+    def test_no_purge_below_threshold(self):
+        q = EventQueue(purge_threshold=10)
+        handles = [q.push(float(i), lambda: None) for i in range(12)]
+        # Cancel 10 of 12: backlog (10) > live (2) but not > threshold.
+        for h in handles[:10]:
+            q.cancel(h)
+        assert q.purges == 0
+        assert q.cancelled_backlog == 10
+
+    def test_no_purge_while_live_majority(self):
+        q = EventQueue(purge_threshold=2)
+        handles = [q.push(float(i), lambda: None) for i in range(10)]
+        # Cancel 4 of 10: backlog (4) > threshold but not > live (6).
+        for h in handles[:4]:
+            q.cancel(h)
+        assert q.purges == 0
+
+    def test_purge_fires_when_dead_outnumber_live_and_threshold(self):
+        q = EventQueue(purge_threshold=2)
+        handles = [q.push(float(i), lambda: None) for i in range(7)]
+        for h in handles[:3]:
+            q.cancel(h)
+        assert q.purges == 0  # 3 dead vs 4 live: live still majority
+        q.cancel(handles[3])
+        assert q.purges == 1  # 4 dead vs 3 live and 4 > threshold
+        assert q.cancelled_backlog == 0
+        assert len(q) == 3
+
+    def test_pop_order_identical_across_compaction(self):
+        """Compaction preserves (time, seq) keys, so the pop sequence
+        matches a queue that never compacts."""
+
+        def drive(threshold):
+            q = EventQueue(purge_threshold=threshold)
+            handles = [
+                q.push(float(i % 5), lambda: None) for i in range(50)
+            ]
+            for i, h in enumerate(handles):
+                if i % 3 != 0:
+                    q.cancel(h)
+            order = []
+            while q:
+                h = q.pop()
+                order.append((h.time, h.seq))
+            return q.purges, order
+
+        purges_eager, order_eager = drive(threshold=1)
+        purges_lazy, order_lazy = drive(threshold=10_000)
+        assert purges_eager > 0
+        assert purges_lazy == 0
+        assert order_eager == order_lazy
+
+    def test_threshold_validation(self):
+        with pytest.raises(SimulationError):
+            EventQueue(purge_threshold=0)
+
+    def test_heap_stays_bounded_under_churn(self):
+        """Timer churn (push + cancel forever) must not grow the heap:
+        the heuristic caps it near 2x live + threshold."""
+        q = EventQueue(purge_threshold=8)
+        live = [q.push(float(i), lambda: None) for i in range(4)]
+        for i in range(1000):
+            h = q.push(100.0 + i, lambda: None)
+            q.cancel(h)
+        assert len(q) == 4
+        assert q.cancelled_backlog <= 2 * len(q) + q.purge_threshold + 1
+        assert q.purges > 0
+        assert sorted(h.time for h in live) == [0.0, 1.0, 2.0, 3.0]

@@ -109,3 +109,71 @@ class TestValidation:
         v = gps.virtual_time
         gps.advance(20.0)
         assert gps.virtual_time == v
+
+
+class TestLazyInvalidation:
+    """Pin the stale-entry bookkeeping and heap compaction heuristic."""
+
+    def test_rearrival_creates_stale_entry(self):
+        gps = GPSReference(capacity=10.0, purge_threshold=1000)
+        gps.arrive("A", 10.0, now=0.0)
+        assert gps.stale_entries == 0
+        gps.arrive("A", 10.0, now=0.0)
+        assert gps.stale_entries == 1
+        assert gps.heap_size == 2
+
+    def test_peek_drops_stale_entries(self):
+        gps = GPSReference(capacity=10.0, purge_threshold=1000)
+        # The front flow's entry stays at the heap top, so A's superseded
+        # entries pile up behind it instead of being popped on peek.
+        gps.arrive("front", 1.0, now=0.0)
+        for _ in range(4):
+            gps.arrive("A", 10.0, now=0.0)
+        assert gps.stale_entries == 3
+        gps.advance(10.0)  # drains past the stale entries
+        assert gps.stale_entries == 0
+
+    def test_compaction_fires_when_stale_outnumber_live(self):
+        gps = GPSReference(capacity=10.0, purge_threshold=2)
+        gps.arrive("A", 1.0, now=0.0)
+        gps.arrive("B", 1.0, now=0.0)
+        for _ in range(4):
+            gps.arrive("A", 1.0, now=0.0)
+        # 4 stale entries > threshold (2) and > live (2): compacted.
+        assert gps.purges >= 1
+        assert gps.stale_entries == 0
+        assert gps.heap_size == 2
+
+    def test_heap_bounded_under_rearrival_churn(self):
+        gps = GPSReference(capacity=1000.0, purge_threshold=8)
+        gps.arrive("front", 0.001, now=0.0)  # keeps the heap top live
+        for _ in range(1000):
+            gps.arrive("A", 1.0, now=0.0)
+            gps.arrive("B", 1.0, now=0.0)
+        live = 3
+        assert gps.heap_size <= 2 * live + gps.purge_threshold + 2
+        assert gps.purges > 0
+
+    def test_service_identical_with_and_without_compaction(self):
+        """Compaction must not perturb the fluid numerics."""
+
+        def drive(threshold):
+            gps = GPSReference(capacity=10.0, purge_threshold=threshold)
+            now = 0.0
+            for i in range(200):
+                now += 0.01
+                gps.arrive("A", 0.5, now=now, weight=2.0)
+                if i % 2 == 0:
+                    gps.arrive("B", 0.3, now=now)
+                if i % 7 == 0:
+                    gps.arrive("C", 1.1, now=now)
+            gps.advance(now + 1.0)
+            return {f: gps.service(f) for f in "ABC"}
+
+        eager = drive(threshold=1)
+        lazy = drive(threshold=10_000)
+        assert eager == lazy
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            GPSReference(1.0, purge_threshold=0)
