@@ -22,7 +22,7 @@ from typing import Deque, Optional
 from ..errors import ConfigurationError, SchedulerError
 from ..estimation.base import CostEstimator
 from ..estimation.oracle import OracleEstimator
-from .request import Request
+from .request import Request, RequestPhase
 from .scheduler import MIN_COST, Scheduler, TenantState
 
 __all__ = ["DRRScheduler"]
@@ -62,6 +62,12 @@ class DRRScheduler(Scheduler):
         # per visit; the flow then serves while its deficit lasts and the
         # visit ends.
         self._visit_granted = False
+        # Deficit-reset epochs: a forfeit (emptied flow) or ring re-join
+        # zeroes the deficit, which also voids any refund owed for
+        # debits made before the reset.  Cancel consults these so a
+        # cancelled request refunds exactly the debits still standing.
+        self._epoch: dict[str, int] = {}
+        self._debits: dict[int, tuple[int, float]] = {}
 
     @property
     def estimator(self) -> CostEstimator:
@@ -80,6 +86,7 @@ class DRRScheduler(Scheduler):
         state.queue.append(request)
         if state.tenant_id not in self._in_ring:
             state.deficit = 0.0  # flows joining the ring start with no credit
+            self._bump_epoch(state.tenant_id)
             self._ring.append(state)
             self._in_ring.add(state.tenant_id)
         self._note_enqueued(request)
@@ -116,6 +123,7 @@ class DRRScheduler(Scheduler):
                 continue
             request = state.queue.popleft()
             state.deficit -= estimate
+            self._note_debit(request, estimate)
             request.charged_cost = estimate
             request.credit = estimate
             state.running += 1
@@ -131,7 +139,38 @@ class DRRScheduler(Scheduler):
         self._in_ring.discard(state.tenant_id)
         if forfeit:
             state.deficit = 0.0
+            self._bump_epoch(state.tenant_id)
         self._visit_granted = False
+
+    def _bump_epoch(self, tenant_id: str) -> None:
+        self._epoch[tenant_id] = self._epoch.get(tenant_id, 0) + 1
+
+    def _note_debit(self, request: Request, amount: float) -> None:
+        epoch = self._epoch.get(request.tenant_id, 0)
+        stored_epoch, standing = self._debits.get(request.seqno, (epoch, 0.0))
+        if stored_epoch != epoch:
+            standing = 0.0  # older debits were wiped with the deficit
+        self._debits[request.seqno] = (epoch, standing + amount)
+
+    def _cancel_running(
+        self, state: TenantState, request: Request, now: float
+    ) -> bool:
+        """Refund the deficit charged for an in-flight request: dispatch
+        debited the estimate (leaving ``credit = estimate``) and refresh
+        overages debited ``reported_usage - (estimate - credit)`` more.
+        Only debits made since the tenant's last deficit reset are
+        refunded -- a forfeit or ring re-join already re-zeroed the
+        balance, so earlier debits no longer stand."""
+        if state.running <= 0:
+            return False
+        epoch = self._epoch.get(request.tenant_id, 0)
+        stored_epoch, standing = self._debits.pop(
+            request.seqno, (epoch, request.reported_usage + request.credit)
+        )
+        if stored_epoch == epoch:
+            state.deficit += standing
+        state.running -= 1
+        return True
 
     def refresh(self, request: Request, usage: float, now: float) -> None:
         request.reported_usage += usage
@@ -140,9 +179,12 @@ class DRRScheduler(Scheduler):
         else:
             state = self._tenants[request.tenant_id]
             state.deficit -= usage - request.credit
+            self._note_debit(request, usage - request.credit)
             request.credit = 0.0
 
     def complete(self, request: Request, usage: float, now: float) -> None:
+        if request.phase == RequestPhase.CANCELLED:
+            return  # stale completion racing a cancel: already refunded
         state = self._tenants[request.tenant_id]
         request.reported_usage += usage
         # Retroactive charging: excess usage is debited from the deficit
@@ -151,5 +193,6 @@ class DRRScheduler(Scheduler):
         state.deficit -= usage - request.credit
         request.credit = 0.0
         state.running -= 1
+        self._debits.pop(request.seqno, None)
         self._estimator.observe(request, request.reported_usage)
         super().complete(request, 0.0, now)

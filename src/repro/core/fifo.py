@@ -13,7 +13,7 @@ from collections import deque
 from typing import Deque, Optional
 
 from .request import Request
-from .scheduler import Scheduler
+from .scheduler import Scheduler, TenantState
 
 __all__ = ["FIFOScheduler"]
 
@@ -39,3 +39,13 @@ class FIFOScheduler(Scheduler):
         request = self._queue.popleft()
         self._note_dispatched(request, thread_id, now)
         return request
+
+    def _cancel_queued(
+        self, state: TenantState, request: Request, now: float
+    ) -> bool:
+        # FIFO keeps one global queue; per-tenant queues are unused.
+        try:
+            self._queue.remove(request)
+        except ValueError:
+            return False
+        return True

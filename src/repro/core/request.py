@@ -32,6 +32,10 @@ class RequestPhase:
     QUEUED = "queued"
     RUNNING = "running"
     DONE = "done"
+    #: Removed from the scheduler before completion (client timeout or
+    #: worker crash).  A cancelled request may be re-submitted -- crash
+    #: re-dispatch and deadline retries do -- and then re-enters QUEUED.
+    CANCELLED = "cancelled"
 
 
 @dataclass(eq=False)

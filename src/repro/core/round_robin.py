@@ -49,3 +49,15 @@ class RoundRobinScheduler(Scheduler):
             self._in_ring.discard(state.tenant_id)
         self._note_dispatched(request, thread_id, now)
         return request
+
+    def _cancel_queued(
+        self, state: TenantState, request: Request, now: float
+    ) -> bool:
+        if not super()._cancel_queued(state, request, now):
+            return False
+        if not state.queue and state.tenant_id in self._in_ring:
+            # dequeue pops the ring head unconditionally, so an emptied
+            # tenant must leave the ring immediately.
+            self._ring.remove(state)
+            self._in_ring.discard(state.tenant_id)
+        return True

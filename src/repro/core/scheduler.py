@@ -16,7 +16,13 @@ The contract with the simulator's :class:`~repro.simulator.server.ThreadPoolServ
    reporting the resource usage measured since the previous report
    (refresh charging, paper §5);
 4. ``complete(request, usage, now)`` exactly once at completion with the
-   final usage increment (retroactive charging, paper §5).
+   final usage increment (retroactive charging, paper §5);
+5. ``cancel(request, now)`` when a queued or running request is removed
+   before completion (client deadline, worker crash).  Cancellation
+   refunds every charge the scheduler applied, so a cancelled request
+   leaves the virtual-time state as if it had never been dispatched,
+   and is idempotent: cancelling a DONE or already-CANCELLED request is
+   a no-op returning ``False``.
 
 All schedulers are *work conserving*: ``dequeue`` returns a request
 whenever any request is queued (paper §2, "Desirable Properties").
@@ -119,6 +125,7 @@ class Scheduler(ABC):
         self._size = 0
         self._dispatched = 0
         self._completed = 0
+        self._cancelled = 0
         #: Attached :class:`repro.obs.Tracer`, or ``None`` (the default).
         #: Instrumented subclasses guard every emission site with a single
         #: ``if self._trace is not None`` check -- the whole disabled-mode
@@ -152,6 +159,10 @@ class Scheduler(ABC):
     @property
     def completed_count(self) -> int:
         return self._completed
+
+    @property
+    def cancelled_count(self) -> int:
+        return self._cancelled
 
     def tenant_state(self, tenant_id: str) -> Optional[TenantState]:
         """Expose per-tenant state (monitoring and tests)."""
@@ -194,9 +205,84 @@ class Scheduler(ABC):
 
     def complete(self, request: Request, usage: float, now: float) -> None:
         """Report completion with the final usage increment."""
+        if request.phase == RequestPhase.CANCELLED:
+            return  # stale completion racing a cancel: already refunded
         request.reported_usage += usage
         request.phase = RequestPhase.DONE
         self._completed += 1
+
+    def cancel(self, request: Request, now: float) -> bool:
+        """Remove a queued or running request, refunding every charge.
+
+        Mirrors the reconciliation ``complete()`` performs, but in the
+        other direction: the tenant's virtual-time (or deficit) state is
+        restored to what it would be had the request never been
+        dispatched.  Returns ``True`` if the request was cancelled and
+        ``False`` for a stale cancel (request already DONE or CANCELLED,
+        or unknown to this scheduler) -- so cancel/complete races are
+        harmless in either order.
+
+        The cancelled request's charging bookkeeping is reset so it can
+        be re-submitted (crash re-dispatch, deadline retry) with its
+        identity -- seqno, arrival time -- intact.
+        """
+        phase = request.phase
+        if phase != RequestPhase.QUEUED and phase != RequestPhase.RUNNING:
+            return False
+        state = self._tenants.get(request.tenant_id)
+        if state is None:
+            return False
+        if phase == RequestPhase.QUEUED:
+            if not self._cancel_queued(state, request, now):
+                return False
+            self._size -= 1
+        else:
+            if not self._cancel_running(state, request, now):
+                return False
+        request.phase = RequestPhase.CANCELLED
+        request.charged_cost = 0.0
+        request.credit = 0.0
+        request.reported_usage = 0.0
+        self._cancelled += 1
+        trace = self._trace
+        if trace is not None:
+            trace.cancel(
+                now,
+                self._trace_virtual_time(),
+                state.tenant_id,
+                seqno=request.seqno,
+                api=request.api,
+                was_running=phase == RequestPhase.RUNNING,
+                backlog=self._size,
+            )
+        return True
+
+    # -- cancellation hooks ----------------------------------------------------
+
+    def _cancel_queued(
+        self, state: TenantState, request: Request, now: float
+    ) -> bool:
+        """Remove a queued request from its tenant queue.  Subclasses
+        with auxiliary structures (global FIFO queue, round-robin ring,
+        selection index) override and clean those up too."""
+        try:
+            state.queue.remove(request)
+        except ValueError:
+            return False
+        return True
+
+    def _cancel_running(
+        self, state: TenantState, request: Request, now: float
+    ) -> bool:
+        """Refund the dispatch-time charge of a running request.  The
+        base schedulers (FIFO, round-robin) charge nothing at dispatch,
+        so there is nothing to undo."""
+        return True
+
+    def _trace_virtual_time(self) -> Optional[float]:
+        """Virtual time recorded in cancel trace events (``None`` for
+        schedulers without a virtual clock)."""
+        return None
 
     # -- shared helpers --------------------------------------------------------
 

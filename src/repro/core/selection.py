@@ -130,6 +130,14 @@ class SelectionIndex:
 
     # -- maintenance ---------------------------------------------------------
 
+    def set_estimator(self, estimator: CostEstimator) -> None:
+        """Swap the estimator consulted for head estimates (fault
+        injection).  Entries pushed under the old estimator carry stale
+        tags, so the owning scheduler must re-``touch`` every backlogged
+        tenant immediately after (see
+        :meth:`~repro.core.vt_base.VirtualTimeScheduler.set_estimator`)."""
+        self._estimator = estimator
+
     def _new_heap(self) -> int:
         self._heaps.append([])
         self._limits.append(_COMPACT_MIN)

@@ -32,13 +32,20 @@ class VirtualClock:
         second (``num_threads * thread_rate``).
     """
 
-    __slots__ = ("_capacity", "_value", "_last_wallclock", "_active_weight")
+    __slots__ = (
+        "_capacity",
+        "_value",
+        "_base",
+        "_last_wallclock",
+        "_active_weight",
+    )
 
     def __init__(self, capacity: float) -> None:
         if capacity <= 0:
             raise ConfigurationError(f"capacity must be positive, got {capacity}")
         self._capacity = float(capacity)
         self._value = 0.0
+        self._base = 0.0
         self._last_wallclock = 0.0
         self._active_weight = 0.0
 
@@ -81,7 +88,9 @@ class VirtualClock:
         if now > self._last_wallclock:
             if self._active_weight > 0.0:
                 elapsed = now - self._last_wallclock
-                self._value += elapsed * self._capacity / self._active_weight
+                increment = elapsed * self._capacity / self._active_weight
+                self._value += increment
+                self._base += increment
             self._last_wallclock = now
         return self._value
 
@@ -113,6 +122,19 @@ class VirtualClock:
         """
         if value > self._value:
             self._value = value
+
+    def rewind_jump(self, floor: float) -> None:
+        """Retract jump elevation down to ``max(base, floor)``, where the
+        base is the wall-driven value had no jump ever happened.
+
+        Used when a cancelled request's start tag drove a ``jump_to``:
+        the next ``jump_to`` re-establishes ``V >= min_f S_f`` over the
+        surviving backlog, so retracting is self-healing.  Never moves
+        below the base, and never moves time forwards.
+        """
+        target = max(self._base, floor)
+        if target < self._value:
+            self._value = target
 
     def __repr__(self) -> str:
         return (

@@ -46,7 +46,7 @@ from typing import Iterable, Optional
 from ..errors import SchedulerError
 from ..estimation.base import CostEstimator
 from ..estimation.oracle import OracleEstimator
-from .request import Request
+from .request import Request, RequestPhase
 from .scheduler import MIN_COST, Scheduler, TenantState
 from .selection import SelectionIndex
 from .virtual_time import VirtualClock
@@ -123,6 +123,30 @@ class VirtualTimeScheduler(Scheduler):
 
     def backlogged_tenants(self) -> Iterable[TenantState]:
         return self._backlogged.values()
+
+    def set_estimator(self, estimator: CostEstimator) -> None:
+        """Swap the cost estimator at runtime (fault injection).
+
+        The selection index caches finish/start tags computed from head
+        estimates, so every backlogged tenant is re-touched to keep the
+        index coherent with the new estimator's view.
+        """
+        self._estimator = estimator
+        if self._index is not None:
+            self._index.set_estimator(estimator)
+            for state in self._backlogged.values():
+                self._index.touch(state)
+
+    def reindex_backlogged(self) -> None:
+        """Re-touch every backlogged tenant in the selection index.
+
+        Needed when head estimates change outside the ``observe()`` path
+        -- e.g. a :class:`~repro.faults.FaultyEstimator` entering or
+        leaving an outage/bias window shifts *all* estimates at once.
+        """
+        if self._index is not None:
+            for state in self._backlogged.values():
+                self._index.touch(state)
 
     # -- scheduler contract ------------------------------------------------------
 
@@ -276,6 +300,8 @@ class VirtualTimeScheduler(Scheduler):
         rounding per charge increment), and the estimator observes the
         exact cost.
         """
+        if request.phase == RequestPhase.CANCELLED:
+            return  # stale completion racing a cancel: already refunded
         state = self._tenants.get(request.tenant_id)
         if state is None or state.running <= 0:
             raise SchedulerError(
@@ -321,6 +347,88 @@ class VirtualTimeScheduler(Scheduler):
                     active_weight=self._clock.active_weight,
                 )
         super().complete(request, 0.0, now)
+
+    # -- cancellation ---------------------------------------------------------------
+
+    def _cancel_queued(
+        self, state: TenantState, request: Request, now: float
+    ) -> bool:
+        """Remove a queued request.  Nothing has been charged for a
+        queued request (charges happen at dispatch), so only the backlog
+        structures need repair: the tenant queue, the backlogged set,
+        the selection index, and -- when the tenant has no other work --
+        its active-weight contribution to the virtual clock."""
+        try:
+            state.queue.remove(request)
+        except ValueError:
+            return False
+        self._clock.advance(now)
+        if not state.queue:
+            self._backlogged.pop(state.tenant_id, None)
+            if self._index is not None:
+                self._index.drop(state)
+            if state.running == 0 and state.active:
+                state.active = False
+                self._clock.remove_weight(state.weight, now)
+                if self._trace is not None:
+                    self._trace.vt_update(
+                        now,
+                        self._clock.value,
+                        state.tenant_id,
+                        reason="tenant_idle",
+                        active_weight=self._clock.active_weight,
+                    )
+        elif self._index is not None:
+            # The head request may have changed.
+            self._index.touch(state)
+        return True
+
+    def _cancel_running(
+        self, state: TenantState, request: Request, now: float
+    ) -> bool:
+        """Refund the virtual-time charge of an in-flight request.
+
+        The cumulative charge applied to ``start_tag`` for a running
+        request is ``(reported_usage + credit) / weight``: the dispatch
+        charged ``estimate / weight`` (leaving ``credit = estimate``),
+        and each refresh either consumed credit (net charge unchanged)
+        or pushed the tag by the overage (growing ``reported_usage``
+        past the exhausted credit).  Subtracting it restores the tag to
+        its pre-dispatch value, mirroring the ``complete()``
+        reconciliation with a final usage of zero.
+        """
+        if state.running <= 0:
+            return False
+        self._clock.advance(now)
+        state.start_tag -= (request.reported_usage + request.credit) / state.weight
+        state.running -= 1
+        if self._index is not None and state.queue:
+            self._index.touch(state)
+        if self._trace is not None:
+            self._trace.vt_update(
+                now,
+                self._clock.value,
+                state.tenant_id,
+                reason="cancel_refund",
+                seqno=request.seqno,
+                refund=request.reported_usage + request.credit,
+                start_tag=state.start_tag,
+            )
+        if not state.queue and state.running == 0 and state.active:
+            state.active = False
+            self._clock.remove_weight(state.weight, now)
+            if self._trace is not None:
+                self._trace.vt_update(
+                    now,
+                    self._clock.value,
+                    state.tenant_id,
+                    reason="tenant_idle",
+                    active_weight=self._clock.active_weight,
+                )
+        return True
+
+    def _trace_virtual_time(self) -> Optional[float]:
+        return self._clock.value
 
     # -- policy hooks ---------------------------------------------------------------
 

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .request import Request
+from .scheduler import TenantState
 from .wf2q import WF2QScheduler
 
 __all__ = ["WF2QPlusScheduler"]
@@ -25,19 +27,34 @@ class WF2QPlusScheduler(WF2QScheduler):
 
     name = "wf2q+"
 
-    def _adjust_virtual_time(self, vnow: float) -> float:
+    def _min_backlogged_start(self) -> Optional[float]:
         if self._index is not None:
-            min_start = self._index.min_start_tag()
-        elif self._backlogged:
-            min_start = min(
-                state.start_tag for state in self._backlogged.values()
-            )
-        else:
-            min_start = None
+            return self._index.min_start_tag()
+        if self._backlogged:
+            return min(state.start_tag for state in self._backlogged.values())
+        return None
+
+    def _adjust_virtual_time(self, vnow: float) -> float:
+        min_start = self._min_backlogged_start()
         if min_start is not None and min_start > vnow:
             self._clock.jump_to(min_start)
             return min_start
         return vnow
+
+    def _cancel_running(
+        self, state: TenantState, request: Request, now: float
+    ) -> bool:
+        if not super()._cancel_running(state, request, now):
+            return False
+        # The cancelled request's start tag may have driven a jump of the
+        # lower-bounded virtual-time function; retract any elevation the
+        # surviving backlog no longer supports (the next ``jump_to``
+        # restores ``V >= min_f S_f``, so this is self-healing).
+        min_start = self._min_backlogged_start()
+        self._clock.rewind_jump(
+            min_start if min_start is not None else float("-inf")
+        )
+        return True
 
     def _index_spec(self) -> Optional[dict]:
         # WF2Q's eligibility slot and fallback, plus the start heap that

@@ -7,12 +7,16 @@ single ``except`` clause while letting programming errors propagate.
 
 from __future__ import annotations
 
+from typing import Any, Optional
+
 __all__ = [
     "ReproError",
     "ConfigurationError",
     "SchedulerError",
+    "InvariantViolation",
     "SimulationError",
     "WorkloadError",
+    "CellExecutionError",
 ]
 
 
@@ -32,6 +36,22 @@ class SchedulerError(ReproError):
     """
 
 
+class InvariantViolation(SchedulerError):
+    """A runtime scheduler invariant was violated.
+
+    Raised by the :mod:`repro.validate` watchdog in strict mode when an
+    invariant from the DESIGN.md §11 catalogue fails (virtual time went
+    backwards, a work-conserving scheduler refused queued work, a request
+    was lost or duplicated, backlog accounting diverged).  Carries the
+    machine-readable context the watchdog also reports through obs.
+    """
+
+    def __init__(self, code: str, message: str, context: Optional[dict] = None):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.context = dict(context or {})
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator detected an inconsistency.
 
@@ -42,3 +62,21 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload specification or trace could not be built or parsed."""
+
+
+class CellExecutionError(ReproError):
+    """A parallel-engine cell failed; identifies *which* cell.
+
+    Wraps the originating exception (available as ``__cause__``) with the
+    cell's index in the submitted sequence and the cell object itself, so
+    a failed fan-out is attributable to one (experiment, scheduler)
+    coordinate instead of a bare traceback from an anonymous worker.
+    """
+
+    def __init__(self, index: int, cell: Any, message: str):
+        label = getattr(cell, "label", None)
+        label = str(label()) if callable(label) else type(cell).__name__
+        super().__init__(f"cell {index} ({label}) failed: {message}")
+        self.index = index
+        self.cell = cell
+        self.label = label

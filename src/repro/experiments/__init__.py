@@ -9,10 +9,17 @@ Module                          Paper figures
 ``unpredictable``               Figures 11, 12 (unknown costs)
 ``suite``                       Figure 13 (randomized 150-experiment suite)
 ``intuition``                   Figure 14 (QoS vs unpredictability curve)
+``degradation``                 Fairness under injected faults (figfault)
 ==============================  =============================================
 """
 
 from .config import ExperimentConfig
+from .degradation import (
+    DegradationResult,
+    degradation_config,
+    degradation_plan,
+    run_degradation,
+)
 from .expensive_requests import (
     run_expensive_requests,
     sigma_vs_expensive,
@@ -59,6 +66,10 @@ __all__ = [
     "run_unpredictable",
     "run_unpredictable_sweep",
     "UnpredictableSweep",
+    "run_degradation",
+    "degradation_config",
+    "degradation_plan",
+    "DegradationResult",
     "run_suite",
     "sample_experiment",
     "SuiteParameters",

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from ..errors import ConfigurationError
+from ..faults.plan import FaultPlan
 
 __all__ = ["ExperimentConfig"]
 
@@ -42,6 +43,15 @@ class ExperimentConfig:
     initial_estimate:
         Cold-start cost estimate applied to every ^E scheduler unless
         overridden in ``scheduler_kwargs``.
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan` injected into
+        every run of this experiment (a plain dict is coerced, so
+        JSON-loaded configs work).  Faults change results, so the plan
+        is part of the config -- and therefore of run-cache keys.
+    validate:
+        Wrap every run's scheduler in the
+        :class:`~repro.validate.ValidatingScheduler` invariant watchdog
+        (also switchable process-wide via ``REPRO_VALIDATE=1``).
     """
 
     name: str
@@ -56,8 +66,12 @@ class ExperimentConfig:
     scheduler_kwargs: Dict[str, dict] = field(default_factory=dict)
     initial_estimate: Optional[float] = None
     record_dispatches: bool = True
+    fault_plan: Optional[FaultPlan] = None
+    validate: bool = False
 
     def __post_init__(self) -> None:
+        if isinstance(self.fault_plan, dict):
+            self.fault_plan = FaultPlan.from_dict(self.fault_plan)
         if self.num_threads < 1:
             raise ConfigurationError(f"num_threads must be >= 1, got {self.num_threads}")
         if self.thread_rate <= 0:

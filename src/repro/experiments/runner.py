@@ -23,9 +23,11 @@ if TYPE_CHECKING:
 
 from ..core.registry import make_scheduler
 from ..core.scheduler import Scheduler
+from ..faults.injector import FaultInjector
 from ..metrics.collector import MetricsCollector, RunMetrics
 from ..obs.session import current_session
 from ..obs.tracer import Tracer
+from ..validate import ValidatingScheduler, env_validate
 from ..simulator.clock import Simulation
 from ..simulator.server import ThreadPoolServer
 from ..workloads.arrivals import OpenLoopProcess
@@ -63,14 +65,27 @@ def run_single(
     speed: float = 1.0,
     tracer: Optional[Tracer] = None,
 ) -> RunMetrics:
-    """Run one scheduler over the workload and return its metrics."""
+    """Run one scheduler over the workload and return its metrics.
+
+    With ``config.validate`` (or ``REPRO_VALIDATE=1``) the scheduler is
+    wrapped in the :class:`~repro.validate.ValidatingScheduler` invariant
+    watchdog; with a non-empty ``config.fault_plan`` a
+    :class:`~repro.faults.injector.FaultInjector` schedules the plan's
+    faults into the run.  Both are strictly additive: left off, the run
+    executes exactly the unfaulted, unwatched code paths.
+    """
     sim = Simulation()
-    scheduler = make_scheduler(
+    inner_scheduler = make_scheduler(
         scheduler_name,
         num_threads=config.num_threads,
         thread_rate=config.thread_rate,
         **config.kwargs_for(scheduler_name),
     )
+    scheduler: Scheduler = inner_scheduler
+    watchdog: Optional[ValidatingScheduler] = None
+    if config.validate or env_validate():
+        watchdog = ValidatingScheduler(inner_scheduler)
+        scheduler = watchdog  # type: ignore[assignment] -- transparent proxy
     server = ThreadPoolServer(
         sim,
         scheduler,
@@ -78,6 +93,11 @@ def run_single(
         rate=config.thread_rate,
         refresh_interval=config.refresh_interval,
     )
+    injector: Optional[FaultInjector] = None
+    if config.fault_plan is not None and not config.fault_plan.is_empty:
+        injector = FaultInjector(server, config.fault_plan)
+        injector.install()
+        injector.wire_estimator(scheduler)
     collector = MetricsCollector(
         server,
         sample_interval=config.sample_interval,
@@ -105,12 +125,18 @@ def run_single(
     sim.run(until=config.duration)
     metrics = collector.result()
     if session is not None:
+        extra: Dict[str, Any] = {}
+        if injector is not None:
+            extra["faults"] = injector.counts
+        if watchdog is not None:
+            extra["validation"] = watchdog.summary()
         session.export_run(
             tracer,
             dispatch_log=metrics.dispatch_log,
             seed=config.seed,
             config=dataclasses.asdict(config),
-            scheduler=_scheduler_manifest(scheduler),
+            scheduler=_scheduler_manifest(inner_scheduler),
+            extra=extra or None,
         )
     return metrics
 

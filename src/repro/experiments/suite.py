@@ -141,6 +141,9 @@ class SuiteResult:
     experiments: List[SuiteExperiment] = field(default_factory=list)
     #: experiment index -> scheduler -> tenant -> p99 latency (seconds).
     p99: List[Dict[str, Dict[str, float]]] = field(default_factory=list)
+    #: Quarantined-cell failure records (``CellFailure.as_dict()``);
+    #: empty when every cell succeeded.
+    errors: List[Dict[str, object]] = field(default_factory=list)
 
     def speedups(
         self, baseline: str, improved: str = "2dfq-e",
@@ -290,8 +293,13 @@ def run_suite(
     ``jobs=N`` produces numerically identical :attr:`SuiteResult.p99`
     to ``jobs=1`` for any ``N``; with a cache, re-running the suite (or
     widening it) only executes cells whose keys are new.
+
+    A crashing cell does not sink the suite: failures are quarantined
+    (``on_error="quarantine"``), recorded in :attr:`SuiteResult.errors`,
+    and their per-tenant latencies read as NaN downstream -- every other
+    cell's results are returned.
     """
-    from ..parallel.engine import run_cells
+    from ..parallel.engine import CellFailure, run_cells
 
     if params is None:
         params = SuiteParameters()
@@ -308,12 +316,18 @@ def run_suite(
         for index in range(params.num_experiments)
         for name in schedulers
     ]
-    outputs = run_cells(cells, jobs=jobs, cache=cache)
+    outputs = run_cells(cells, jobs=jobs, cache=cache, on_error="quarantine")
     per_cell = iter(outputs)
     for index in range(params.num_experiments):
         result.experiments.append(sample_experiment(index, params))
         record: Dict[str, Dict[str, float]] = {}
         for name in schedulers:
-            record[name] = next(per_cell)
+            output = next(per_cell)
+            if isinstance(output, CellFailure):
+                # Quarantined cell: its latencies read as NaN through
+                # SuiteResult's .get(..., nan) accessors.
+                result.errors.append(output.as_dict())
+                output = {}
+            record[name] = output
         result.p99.append(record)
     return result

@@ -1,0 +1,280 @@
+"""The fault-plan DSL: a declarative, seeded description of every fault
+injected into one run.
+
+The paper's thesis is that 2DFQ/2DFQ^E preserve fairness exactly when
+the real world misbehaves (PAPER.md §3, §5.3); a :class:`FaultPlan`
+makes "the real world misbehaves" a first-class, reproducible input.
+Plans are plain frozen dataclasses -- picklable, JSON round-trippable,
+and canonicalizable -- so a plan embedded in an
+:class:`~repro.experiments.config.ExperimentConfig` participates in the
+content-addressed run-cache key exactly like every other parameter
+(DESIGN.md §10 purity contract: faulted and fault-free runs can never
+collide in the cache).
+
+Determinism contract (DESIGN.md §11): every fault fires at a plan-fixed
+simulated time through the discrete-event loop, and the only randomness
+-- retry jitter -- comes from a :func:`~repro.simulator.rng.make_rng`
+stream keyed on ``plan.seed``.  Same plan + same workload seed = same
+run, event for event.
+
+Fault vocabulary:
+
+* :class:`WorkerSlowdown` -- a worker runs at ``factor`` times its rate
+  during ``[start, end)``; ``factor=0`` is a full stall.
+* :class:`WorkerCrash` -- a worker dies at ``at`` (its in-flight request
+  loses all progress and is re-dispatched) and optionally restarts.
+* :class:`DeadlinePolicy` -- client-side request deadlines with bounded
+  retries under exponential backoff + jitter (the Cake/Retro-style SLO
+  client, PAPERS.md).
+* :class:`EstimatorFault` -- during ``[start, end)`` the cost estimator
+  suffers an outage (estimates pinned to a pessimistic fallback,
+  observations lost) or a multiplicative bias.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "WorkerSlowdown",
+    "WorkerCrash",
+    "DeadlinePolicy",
+    "EstimatorFault",
+    "FaultPlan",
+]
+
+
+def _check_window(start: float, end: float, what: str) -> None:
+    if start < 0:
+        raise ConfigurationError(f"{what} start must be >= 0, got {start}")
+    if end <= start:
+        raise ConfigurationError(
+            f"{what} window must have end > start, got [{start}, {end})"
+        )
+
+
+@dataclass(frozen=True)
+class WorkerSlowdown:
+    """Worker ``worker`` runs at ``factor`` x nominal rate in ``[start, end)``.
+
+    ``factor = 0.0`` stalls the worker completely: its current request
+    freezes (resuming where it left off when the window closes) and any
+    request dispatched to it meanwhile freezes too -- modelling a
+    degraded-but-alive thread, not a dead one (that is
+    :class:`WorkerCrash`).
+    """
+
+    worker: int
+    start: float
+    end: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.worker < 0:
+            raise ConfigurationError(f"worker index must be >= 0, got {self.worker}")
+        _check_window(self.start, self.end, "slowdown")
+        if self.factor < 0:
+            raise ConfigurationError(
+                f"slowdown factor must be >= 0, got {self.factor}"
+            )
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """Worker ``worker`` crashes at ``at``; optionally restarts.
+
+    The in-flight request (if any) loses all progress; with
+    ``redispatch`` (default) it immediately re-enters the scheduler with
+    its identity intact -- the charge already applied for it is refunded
+    through the :meth:`~repro.core.scheduler.Scheduler.cancel` path, so
+    the tenant is eventually charged only for the work it receives.
+    """
+
+    worker: int
+    at: float
+    restart_at: Optional[float] = None
+    redispatch: bool = True
+
+    def __post_init__(self) -> None:
+        if self.worker < 0:
+            raise ConfigurationError(f"worker index must be >= 0, got {self.worker}")
+        if self.at < 0:
+            raise ConfigurationError(f"crash time must be >= 0, got {self.at}")
+        if self.restart_at is not None and self.restart_at <= self.at:
+            raise ConfigurationError(
+                f"restart_at must be after the crash, got {self.restart_at} <= {self.at}"
+            )
+
+
+@dataclass(frozen=True)
+class DeadlinePolicy:
+    """Client-side deadline + retry behaviour for submitted requests.
+
+    A request not completed within ``deadline`` seconds of its (latest)
+    submission is aborted and, while attempts remain, re-submitted after
+    ``backoff * growth**attempt`` seconds stretched by up to ``jitter``
+    (seeded, uniform).  An exhausted request is abandoned: its closed-
+    loop source is notified so backlogged tenants keep issuing work.
+
+    ``tenants = None`` applies the policy to every tenant; otherwise
+    only to the listed tenant ids.
+    """
+
+    deadline: float
+    max_retries: int = 0
+    backoff: float = 0.05
+    growth: float = 2.0
+    jitter: float = 0.1
+    tenants: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.deadline <= 0:
+            raise ConfigurationError(
+                f"deadline must be positive, got {self.deadline}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff < 0 or self.growth < 1.0 or self.jitter < 0:
+            raise ConfigurationError(
+                "backoff must be >= 0, growth >= 1, jitter >= 0; got "
+                f"backoff={self.backoff}, growth={self.growth}, "
+                f"jitter={self.jitter}"
+            )
+        if self.tenants is not None:
+            object.__setattr__(self, "tenants", tuple(self.tenants))
+
+    def applies_to(self, tenant_id: str) -> bool:
+        return self.tenants is None or tenant_id in self.tenants
+
+
+@dataclass(frozen=True)
+class EstimatorFault:
+    """Estimator misbehaviour during ``[start, end)``.
+
+    ``mode = "outage"``: estimates are pinned to ``fallback`` (or, when
+    ``fallback`` is ``None``, to the largest cost observed before the
+    window opened -- the pessimistic fallback of paper §5.3's spirit:
+    when in doubt, assume expensive) and observations inside the window
+    are lost.
+
+    ``mode = "bias"``: estimates are multiplied by ``bias``;
+    observations still flow, so the estimator keeps learning while its
+    output is skewed (systematic mis-estimation).
+    """
+
+    start: float
+    end: float
+    mode: str = "outage"
+    bias: float = 1.0
+    fallback: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end, "estimator fault")
+        if self.mode not in ("outage", "bias"):
+            raise ConfigurationError(
+                f"estimator fault mode must be 'outage' or 'bias', got {self.mode!r}"
+            )
+        if self.bias <= 0:
+            raise ConfigurationError(f"bias must be positive, got {self.bias}")
+        if self.fallback is not None and self.fallback <= 0:
+            raise ConfigurationError(
+                f"fallback must be positive, got {self.fallback}"
+            )
+
+    def active_at(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+_KIND_CLASSES = {
+    "slowdowns": WorkerSlowdown,
+    "crashes": WorkerCrash,
+    "deadlines": DeadlinePolicy,
+    "estimator_faults": EstimatorFault,
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Every fault injected into one run, plus the jitter seed.
+
+    An empty plan (the default) is inert: the injector installs nothing
+    and the run is bit-identical to an unfaulted one (the differential
+    tests pin this).
+    """
+
+    slowdowns: Tuple[WorkerSlowdown, ...] = ()
+    crashes: Tuple[WorkerCrash, ...] = ()
+    deadlines: Tuple[DeadlinePolicy, ...] = ()
+    estimator_faults: Tuple[EstimatorFault, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name, cls in _KIND_CLASSES.items():
+            items = tuple(
+                cls(**item) if isinstance(item, dict) else item
+                for item in getattr(self, name)
+            )
+            for item in items:
+                if not isinstance(item, cls):
+                    raise ConfigurationError(
+                        f"{name} entries must be {cls.__name__}, got {type(item).__name__}"
+                    )
+            object.__setattr__(self, name, items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.slowdowns or self.crashes or self.deadlines or self.estimator_faults
+        )
+
+    def policy_for(self, tenant_id: str) -> Optional[DeadlinePolicy]:
+        """The first deadline policy applying to ``tenant_id``."""
+        for policy in self.deadlines:
+            if policy.applies_to(tenant_id):
+                return policy
+        return None
+
+    # -- JSON round trip ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        kwargs: Dict[str, Any] = {"seed": int(data.get("seed", 0))}
+        for name, item_cls in _KIND_CLASSES.items():
+            kwargs[name] = tuple(
+                item_cls(**item) for item in data.get(name, ())
+            )
+        unknown = set(data) - set(kwargs)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault plan keys: {sorted(unknown)}"
+            )
+        return cls(**kwargs)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FaultPlan":
+        """Read a plan from a JSON file (the ``--faults PLAN.json`` CLI path)."""
+        try:
+            return cls.from_json(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(f"cannot load fault plan {path}: {exc}") from exc
+
+    def dump(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_json() + "\n")

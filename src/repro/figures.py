@@ -24,6 +24,16 @@ and a ``manifest.json`` with the seed, config, and package provenance::
 
     python -m repro.figures fig06 --trace traces/
 
+``--faults PLAN.json`` injects a :mod:`repro.faults` fault plan into
+every simulated run behind the requested figures, and ``--validate``
+wraps every run's scheduler in the :mod:`repro.validate` invariant
+watchdog (DESIGN.md §11).  ``figfault`` is the dedicated
+fairness-under-degradation figure (canned plan unless ``--faults``
+overrides it)::
+
+    python -m repro.figures figfault --validate
+    python -m repro.figures fig08 --faults chaos.json
+
 Figure ids match the paper's evaluation figures; see DESIGN.md for the
 index and EXPERIMENTS.md for expected shapes.
 """
@@ -32,13 +42,20 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import dataclasses
 import sys
 from typing import Callable, Dict
 
+from .experiments.config import ExperimentConfig
+from .faults.plan import FaultPlan
 from .obs.session import trace_session
 from .parallel import RunCache, execution_context
 
 
+from .experiments.degradation import (
+    degradation_config,
+    run_degradation,
+)
 from .experiments.expensive_requests import (
     SMALL_PROBE,
     expensive_requests_config,
@@ -61,6 +78,20 @@ from .experiments.schedule_examples import (
 from .experiments.unpredictable import run_unpredictable_sweep, unpredictable_config
 
 __all__ = ["main", "FIGURES"]
+
+
+def _flagged(config: ExperimentConfig, args: argparse.Namespace) -> ExperimentConfig:
+    """Apply the ``--faults`` / ``--validate`` flags to a figure config.
+
+    With neither flag set the config object is returned unchanged, so
+    default invocations execute exactly the pre-flag configurations
+    (the differential CLI tests pin this).
+    """
+    plan = getattr(args, "fault_plan_obj", None)
+    validate = bool(getattr(args, "validate", False))
+    if plan is None and not validate:
+        return config
+    return dataclasses.replace(config, fault_plan=plan, validate=validate)
 
 
 def fig01(args: argparse.Namespace) -> str:
@@ -88,7 +119,7 @@ def fig06(args: argparse.Namespace) -> str:
 
 
 def fig08(args: argparse.Namespace) -> str:
-    config = expensive_requests_config(duration=args.duration)
+    config = _flagged(expensive_requests_config(duration=args.duration), args)
     result = run_expensive_requests(num_expensive=50, config=config)
     fair = result.fair_rate()
     text = "small tenant service rate:\n"
@@ -106,7 +137,9 @@ def fig08(args: argparse.Namespace) -> str:
         text += f"  {name:>5} " + " ".join(f"{f:.2f}" for f in frac) + "\n"
     sweep = sigma_vs_expensive(
         expensive_counts=(0, 25, 50, 75, 95),
-        config=expensive_requests_config(duration=min(args.duration, 3.0)),
+        config=_flagged(
+            expensive_requests_config(duration=min(args.duration, 3.0)), args
+        ),
     )
     text += "\nsigma(lag) vs expensive tenants:\n"
     text += format_table(["n"] + list(sweep.sigmas), sweep.rows())
@@ -114,7 +147,7 @@ def fig08(args: argparse.Namespace) -> str:
 
 
 def fig09(args: argparse.Namespace) -> str:
-    config = production_config(duration=args.duration)
+    config = _flagged(production_config(duration=args.duration), args)
     result = run_production(
         num_random=80, include_fixed=True, config=config,
         named_mode="backlogged", open_loop_utilization=0.5,
@@ -150,7 +183,7 @@ def fig09(args: argparse.Namespace) -> str:
 
 
 def fig11(args: argparse.Namespace) -> str:
-    config = unpredictable_config(duration=args.duration)
+    config = _flagged(unpredictable_config(duration=args.duration), args)
     sweep = run_unpredictable_sweep(
         fractions=(0.0, 0.33, 0.66), num_random=150, config=config,
         open_loop_utilization=1.3,
@@ -171,6 +204,30 @@ def fig11(args: argparse.Namespace) -> str:
     return "sigma(T1 lag) [s]:\n" + format_table(["unpredictable"] + names, rows)
 
 
+def figfault(args: argparse.Namespace) -> str:
+    config = _flagged(degradation_config(duration=args.duration), args)
+    result = run_degradation(config=config)
+    text = "fairness while workers degrade mid-run "
+    text += "(slowdown + stall + crash/restart):\n"
+    text += format_table(
+        [
+            "scheduler",
+            "sigma(lag) healthy",
+            "sigma(lag) faulted",
+            "Gini healthy",
+            "Gini faulted",
+        ],
+        result.rows(),
+    )
+    plan = result.plan
+    text += (
+        f"\n\nfault plan: {len(plan.slowdowns)} slowdown(s), "
+        f"{len(plan.crashes)} crash(es), {len(plan.deadlines)} deadline "
+        f"policy(ies), {len(plan.estimator_faults)} estimator window(s)"
+    )
+    return text
+
+
 FIGURES: Dict[str, Callable[[argparse.Namespace], str]] = {
     "fig01": fig01,
     "fig05": fig05,
@@ -178,6 +235,7 @@ FIGURES: Dict[str, Callable[[argparse.Namespace], str]] = {
     "fig08": fig08,
     "fig09": fig09,
     "fig11": fig11,
+    "figfault": figfault,
 }
 
 
@@ -209,7 +267,19 @@ def main(argv=None) -> int:
         help="content-addressed run cache directory; already-computed "
         "runs are loaded instead of re-simulated",
     )
+    parser.add_argument(
+        "--faults", metavar="PLAN.json", default=None,
+        help="inject the fault plan into every simulated run behind the "
+        "requested figures (see repro.faults; figfault uses a canned "
+        "plan when this is omitted)",
+    )
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="wrap every run's scheduler in the invariant watchdog "
+        "(repro.validate); violations raise with full event context",
+    )
     args = parser.parse_args(argv)
+    args.fault_plan_obj = FaultPlan.load(args.faults) if args.faults else None
     if args.figures == ["list"]:
         for fig in sorted(FIGURES):
             print(fig)

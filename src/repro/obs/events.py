@@ -33,6 +33,18 @@ Event taxonomy (the ``kind`` field; see DESIGN.md §9):
 ``estimate``
     A cost estimator absorbed a completed request's measured cost
     (``observe``); carries the old and new per-(tenant, API) estimates.
+``cancel``
+    A queued or running request was removed before completion (client
+    deadline, worker crash) and its charges refunded.  Carries whether
+    the request was running and the backlog after removal.
+``fault``
+    The fault injector (:mod:`repro.faults`) perturbed the run: worker
+    slowdown/stall window edges, crashes and restarts, deadline
+    expiries, retries, abandonments.  ``data["fault"]`` names the kind.
+``invariant``
+    The runtime watchdog (:mod:`repro.validate`) observed a scheduler
+    invariant violation.  Carries the invariant code and the event
+    context at the moment of the check.
 
 Every event also records the simulated wallclock ``t`` and the system
 virtual time ``vt`` at emission, so virtual- and wall-time views line up.
@@ -51,6 +63,9 @@ __all__ = [
     "COMPLETE",
     "VT_UPDATE",
     "ESTIMATE",
+    "CANCEL",
+    "FAULT",
+    "INVARIANT",
     "TraceEvent",
 ]
 
@@ -60,6 +75,9 @@ DISPATCH = "dispatch"
 COMPLETE = "complete"
 VT_UPDATE = "vt_update"
 ESTIMATE = "estimate"
+CANCEL = "cancel"
+FAULT = "fault"
+INVARIANT = "invariant"
 
 #: The closed event taxonomy; exporters and tests validate against it.
 EVENT_KINDS: Tuple[str, ...] = (
@@ -69,6 +87,9 @@ EVENT_KINDS: Tuple[str, ...] = (
     COMPLETE,
     VT_UPDATE,
     ESTIMATE,
+    CANCEL,
+    FAULT,
+    INVARIANT,
 )
 
 

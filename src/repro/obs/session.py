@@ -60,6 +60,8 @@ class TraceSession:
         self.directory = Path(directory)
         self.max_events = max_events
         self.runs: List[str] = []
+        #: Quarantined-cell error records (JSON-ready), in failure order.
+        self.errors: List[Dict[str, Any]] = []
 
     def tracer(self, label: str) -> Tracer:
         """A fresh enabled tracer for one run."""
@@ -132,6 +134,30 @@ class TraceSession:
             else None,
             extra=manifest_extra,
         )
+        self.runs.append(run_dir.name)
+        return run_dir
+
+    def export_failed_cell(self, failure: Any, *, cell: Any = None) -> Path:
+        """Record a quarantined cell (see :mod:`repro.parallel.engine`).
+
+        The failed run's directory gets a ``manifest.json`` whose
+        ``errors`` block carries the failure record -- cell index, label,
+        exception type/message, attempts -- so a degraded suite leaves an
+        attributable paper trail next to its successful runs.
+        """
+        record = failure.as_dict() if hasattr(failure, "as_dict") else dict(failure)
+        run_dir = self._unique_dir(self._slug(f"{record.get('label', 'cell')}--failed"))
+        config = getattr(cell, "config", None)
+        write_manifest(
+            run_dir / "manifest.json",
+            name=run_dir.name,
+            seed=getattr(config, "seed", None),
+            config=dataclasses.asdict(config)
+            if dataclasses.is_dataclass(config) and not isinstance(config, type)
+            else None,
+            extra={"errors": [record]},
+        )
+        self.errors.append(record)
         self.runs.append(run_dir.name)
         return run_dir
 

@@ -32,10 +32,13 @@ from __future__ import annotations
 from typing import Iterator, List, Optional
 
 from .events import (
+    CANCEL,
     COMPLETE,
     DISPATCH,
     ENQUEUE,
     ESTIMATE,
+    FAULT,
+    INVARIANT,
     SELECT,
     VT_UPDATE,
     TraceEvent,
@@ -230,6 +233,60 @@ class Tracer:
         data = {"reason": reason}
         data.update(fields)
         self.emit(TraceEvent(VT_UPDATE, t, vt, tenant, data))
+
+    def cancel(
+        self,
+        t: float,
+        vt: Optional[float],
+        tenant: str,
+        *,
+        seqno: int,
+        api: str,
+        was_running: bool,
+        backlog: int,
+    ) -> None:
+        self.registry.counter("scheduler.cancellations").inc()
+        self.emit(
+            TraceEvent(
+                CANCEL,
+                t,
+                vt,
+                tenant,
+                {
+                    "seqno": seqno,
+                    "api": api,
+                    "was_running": was_running,
+                    "backlog": backlog,
+                },
+            )
+        )
+
+    def fault(
+        self,
+        t: float,
+        fault: str,
+        *,
+        tenant: Optional[str] = None,
+        **fields,
+    ) -> None:
+        self.registry.counter(f"faults.{fault}").inc()
+        data = {"fault": fault}
+        data.update(fields)
+        self.emit(TraceEvent(FAULT, t, None, tenant, data))
+
+    def invariant(
+        self,
+        t: float,
+        code: str,
+        *,
+        vt: Optional[float] = None,
+        tenant: Optional[str] = None,
+        **fields,
+    ) -> None:
+        self.registry.counter("validate.violations").inc()
+        data = {"code": code}
+        data.update(fields)
+        self.emit(TraceEvent(INVARIANT, t, vt, tenant, data))
 
     def estimate(
         self,

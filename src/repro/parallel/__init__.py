@@ -25,6 +25,7 @@ Quickstart::
 
 from .cache import RunCache, source_digest
 from .engine import (
+    CellFailure,
     ExecutionContext,
     current_execution,
     execution_context,
@@ -37,6 +38,7 @@ __all__ = [
     "RunCache",
     "canonicalize",
     "source_digest",
+    "CellFailure",
     "ExecutionContext",
     "execution_context",
     "current_execution",

@@ -12,6 +12,28 @@ Layered on top is the content-addressed :class:`~repro.parallel.cache.RunCache`:
 cells whose key is already stored are never executed, which turns warm
 figure regeneration into pure deserialization.
 
+Failure policy (DESIGN.md §11)
+------------------------------
+A failing cell is always *attributable*: worker exceptions are wrapped
+in :class:`~repro.errors.CellExecutionError` carrying the cell index
+and the cell object (the original exception is ``__cause__``).  Three
+degradation knobs harden long fan-outs:
+
+* ``retries=N`` -- re-execute a failed cell up to N more times before
+  giving up (transient failures; deterministic cells fail fast anyway);
+* ``timeout=T`` -- a cell running longer than T wall-clock seconds is
+  abandoned (``jobs > 1`` only: a hung serial cell cannot be preempted
+  from within its own process).  Timeouts are not retried -- a stuck
+  cell would just wedge another worker;
+* ``on_error="quarantine"`` -- instead of raising on the first failure,
+  failed cells yield :class:`CellFailure` placeholders (never cached)
+  while every other cell's result is still returned; under an active
+  trace session each quarantined cell is recorded as a run directory
+  whose ``manifest.json`` carries an ``errors`` block.
+
+The default (``on_error="raise"``) keeps the fail-fast semantics:
+first failure cancels the remaining cells and propagates.
+
 Trace-session semantics (DESIGN.md §10)
 ---------------------------------------
 Tracing and multi-process execution do not mix: a
@@ -29,9 +51,9 @@ artifacts are written by the run it observes.  The contract is:
   manifest-only run directory so provenance stays honest (the result
   was *not* recomputed; the manifest says so and names the cache key).
 
-Use :func:`execution_context` to set jobs/cache once for a whole block
-(the figures CLI wraps every figure in it), or pass ``jobs=`` /
-``cache=`` explicitly to :func:`run_cells` and the experiment entry
+Use :func:`execution_context` to set jobs/cache/failure policy once for
+a whole block (the figures CLI wraps every figure in it), or pass the
+parameters explicitly to :func:`run_cells` and the experiment entry
 points that forward to it.
 """
 
@@ -39,10 +61,11 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
-from typing import Any, Iterator, List, Optional, Sequence
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..errors import ConfigurationError
+from ..errors import CellExecutionError, ConfigurationError
 from ..obs.session import clear_session, current_session
 from .cache import RunCache
 
@@ -51,16 +74,41 @@ __all__ = [
     "execution_context",
     "current_execution",
     "run_cells",
+    "CellFailure",
 ]
+
+_ON_ERROR = ("raise", "quarantine")
+
+
+@dataclasses.dataclass(frozen=True)
+class CellFailure:
+    """Quarantine placeholder returned for a failed cell.
+
+    Appears in :func:`run_cells` results (``on_error="quarantine"``)
+    at the failed cell's index, so downstream merges stay positional.
+    Failures are never written to the run cache.
+    """
+
+    index: int
+    label: str
+    error_type: str
+    error: str
+    attempts: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
 
 
 @dataclasses.dataclass(frozen=True)
 class ExecutionContext:
     """Engine defaults consulted by :func:`run_cells` when the caller
-    does not pass ``jobs`` / ``cache`` explicitly."""
+    does not pass the corresponding parameter explicitly."""
 
     jobs: int = 1
     cache: Optional[RunCache] = None
+    timeout: Optional[float] = None
+    retries: int = 0
+    on_error: str = "raise"
 
 
 _DEFAULT = ExecutionContext()
@@ -68,13 +116,18 @@ _ACTIVE: ExecutionContext = _DEFAULT
 
 
 def current_execution() -> ExecutionContext:
-    """The active execution context (defaults: serial, no cache)."""
+    """The active execution context (defaults: serial, no cache,
+    fail-fast)."""
     return _ACTIVE
 
 
 @contextlib.contextmanager
 def execution_context(
-    jobs: int = 1, cache: Optional[RunCache] = None
+    jobs: int = 1,
+    cache: Optional[RunCache] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    on_error: str = "raise",
 ) -> Iterator[ExecutionContext]:
     """Set engine defaults for the duration of the block.
 
@@ -87,12 +140,30 @@ def execution_context(
     global _ACTIVE
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    _check_policy(timeout, retries, on_error)
     previous = _ACTIVE
-    _ACTIVE = ExecutionContext(jobs=int(jobs), cache=cache)
+    _ACTIVE = ExecutionContext(
+        jobs=int(jobs),
+        cache=cache,
+        timeout=timeout,
+        retries=int(retries),
+        on_error=on_error,
+    )
     try:
         yield _ACTIVE
     finally:
         _ACTIVE = previous
+
+
+def _check_policy(timeout: Optional[float], retries: int, on_error: str) -> None:
+    if timeout is not None and timeout <= 0:
+        raise ConfigurationError(f"timeout must be positive, got {timeout}")
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries}")
+    if on_error not in _ON_ERROR:
+        raise ConfigurationError(
+            f"on_error must be one of {_ON_ERROR}, got {on_error!r}"
+        )
 
 
 def _worker_init() -> None:
@@ -116,6 +187,9 @@ def run_cells(
     cells: Sequence[Any],
     jobs: Optional[int] = None,
     cache: Optional[RunCache] = None,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    on_error: Optional[str] = None,
 ) -> List[Any]:
     """Execute independent cells, in parallel and/or from cache.
 
@@ -129,6 +203,18 @@ def run_cells(
         :func:`execution_context` (default 1 = serial, in-process).
     cache:
         A :class:`RunCache`; ``None`` consults the context.
+    timeout:
+        Per-cell wall-clock limit in seconds (``jobs > 1`` only; a
+        serial cell cannot be preempted from its own process).  ``None``
+        consults the context (default: no limit).
+    retries:
+        Extra executions granted to a cell that raised; ``None``
+        consults the context (default 0).  Timeouts are never retried.
+    on_error:
+        ``"raise"`` (default): first failure raises
+        :class:`~repro.errors.CellExecutionError`.  ``"quarantine"``:
+        failed cells yield :class:`CellFailure` placeholders and every
+        other result is still returned.
 
     Returns the cells' results **in cell order** -- the deterministic
     merge that makes parallel output identical to serial output.
@@ -136,8 +222,12 @@ def run_cells(
     context = current_execution()
     effective_jobs = context.jobs if jobs is None else int(jobs)
     effective_cache = context.cache if cache is None else cache
+    effective_timeout = context.timeout if timeout is None else timeout
+    effective_retries = context.retries if retries is None else int(retries)
+    effective_on_error = context.on_error if on_error is None else on_error
     if effective_jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {effective_jobs}")
+    _check_policy(effective_timeout, effective_retries, effective_on_error)
     session = current_session()
     if session is not None and effective_jobs > 1:
         raise ConfigurationError(
@@ -166,30 +256,141 @@ def run_cells(
     if not pending:
         return results
 
+    failures: List[CellFailure] = []
+
+    def fail(index: int, attempts: int, exc: BaseException) -> None:
+        cell = cells[index]
+        if effective_on_error == "raise":
+            raise CellExecutionError(index, cell, str(exc)) from exc
+        failure = CellFailure(
+            index=index,
+            label=_cell_label(cell),
+            error_type=type(exc).__name__,
+            error=str(exc),
+            attempts=attempts,
+        )
+        results[index] = failure
+        failures.append(failure)
+        if session is not None:
+            session.export_failed_cell(failure, cell=cell)
+
     if effective_jobs == 1:
         for index in pending:
-            results[index] = cells[index].execute()
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    results[index] = cells[index].execute()
+                    break
+                except Exception as exc:  # noqa: BLE001 -- policy boundary
+                    if attempts <= effective_retries:
+                        continue
+                    fail(index, attempts, exc)
+                    break
     else:
-        workers = min(effective_jobs, len(pending))
-        with ProcessPoolExecutor(
-            max_workers=workers, initializer=_worker_init
-        ) as executor:
-            futures = {
-                executor.submit(_run_cell, cells[index]): index
-                for index in pending
-            }
-            # Fail fast: the first worker exception cancels the rest and
-            # propagates, instead of silently completing a partial merge.
-            wait(futures, return_when=FIRST_EXCEPTION)
-            for future, index in futures.items():
-                results[index] = future.result()
+        _run_pool(
+            cells,
+            pending,
+            results,
+            jobs=effective_jobs,
+            timeout=effective_timeout,
+            retries=effective_retries,
+            fail=fail,
+        )
 
     if effective_cache is not None:
         for index in pending:
             key = keys[index]
-            if key is not None:
+            if key is not None and not isinstance(results[index], CellFailure):
                 effective_cache.put(key, results[index])
     return results
+
+
+def _run_pool(
+    cells: Sequence[Any],
+    pending: Sequence[int],
+    results: List[Any],
+    *,
+    jobs: int,
+    timeout: Optional[float],
+    retries: int,
+    fail,
+) -> None:
+    """Fan pending cells over a process pool with the failure policy.
+
+    Every in-flight future carries (cell index, attempt count, deadline).
+    Completed futures either record a result, get the cell resubmitted
+    (exception, retries left), or invoke the failure policy.  A future
+    past its deadline is abandoned: its worker process may be wedged, so
+    once any timeout fires the executor is torn down without joining and
+    its worker processes are terminated.
+    """
+    workers = min(jobs, len(pending))
+    executor = ProcessPoolExecutor(max_workers=workers, initializer=_worker_init)
+    timed_out = False
+    inflight: Dict[Future, Tuple[int, int, Optional[float]]] = {}
+
+    def submit(index: int, attempt: int) -> None:
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        inflight[executor.submit(_run_cell, cells[index])] = (
+            index, attempt, deadline,
+        )
+
+    try:
+        for index in pending:
+            submit(index, 1)
+        while inflight:
+            wait_for = None
+            if timeout is not None:
+                deadlines = [d for (_, _, d) in inflight.values() if d is not None]
+                wait_for = max(0.0, min(deadlines) - time.monotonic())
+            done, _ = wait(
+                inflight, timeout=wait_for, return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                index, attempt, _ = inflight.pop(future)
+                exc = future.exception()
+                if exc is None:
+                    results[index] = future.result()
+                elif attempt <= retries:
+                    submit(index, attempt + 1)
+                else:
+                    fail(index, attempt, exc)
+            if timeout is not None:
+                now = time.monotonic()
+                for future in list(inflight):
+                    index, attempt, deadline = inflight[future]
+                    if deadline is not None and now >= deadline:
+                        del inflight[future]
+                        future.cancel()
+                        timed_out = True
+                        fail(
+                            index,
+                            attempt,
+                            TimeoutError(
+                                f"cell exceeded the {timeout:g}s wall-clock limit"
+                            ),
+                        )
+    finally:
+        if timed_out:
+            # Abandoned futures may be wedged inside a worker; joining
+            # would inherit the hang.  Drop the pool and terminate its
+            # processes (best effort -- the private map is stable across
+            # supported Python versions, and the pool is discarded
+            # either way).
+            processes = list(
+                (getattr(executor, "_processes", None) or {}).values()
+            )
+            executor.shutdown(wait=False, cancel_futures=True)
+            for process in processes:
+                try:
+                    process.terminate()
+                except Exception:  # pragma: no cover -- teardown best effort
+                    pass
+        else:
+            executor.shutdown(wait=True)
 
 
 def _cell_label(cell: Any) -> str:

@@ -37,7 +37,17 @@ RequestListener = Callable[[Request], None]
 class Worker:
     """State of one worker thread."""
 
-    __slots__ = ("index", "request", "started", "last_report", "completion_event")
+    __slots__ = (
+        "index",
+        "request",
+        "started",
+        "last_report",
+        "completion_event",
+        "speed",
+        "done_work",
+        "work_mark",
+        "crashed",
+    )
 
     def __init__(self, index: int) -> None:
         self.index = index
@@ -46,6 +56,20 @@ class Worker:
         #: Time of the last usage report sent to the scheduler (refresh).
         self.last_report = 0.0
         self.completion_event = None
+        #: Relative processing speed (fault injection): 1.0 = healthy,
+        #: 0 < speed < 1 = degraded, 0.0 = stalled.  Multiplying by the
+        #: default 1.0 is exact in IEEE754, so a fault-free run's float
+        #: arithmetic is bit-identical to the pre-fault formulas.
+        self.speed = 1.0
+        #: Cost units completed on the current request before the last
+        #: speed change (progress must be integrated piecewise once the
+        #: speed varies mid-request).
+        self.done_work = 0.0
+        #: Wallclock time ``done_work`` was last folded up.
+        self.work_mark = 0.0
+        #: Crashed workers hold no request and are skipped by dispatch
+        #: until restored.
+        self.crashed = False
 
     @property
     def busy(self) -> bool:
@@ -176,13 +200,23 @@ class ThreadPoolServer:
     def service_received(self, tenant_id: str) -> float:
         """Cumulative service (cost units) delivered to a tenant so far,
         counting partial progress of running requests -- the quantity the
-        paper's service-rate and service-lag metrics are computed from."""
+        paper's service-rate and service-lag metrics are computed from.
+
+        Progress integrates the worker's speed piecewise:
+        ``done_work`` accumulates the segments before the last speed
+        change and the current segment runs at the current speed.  On a
+        healthy worker (``speed == 1.0``, ``done_work == 0.0``) this
+        reduces bit-exactly to ``(now - started) * rate``.
+        """
         total = self._completed_cost.get(tenant_id, 0.0)
         now = self.sim.now
         for worker in self.workers:
             request = worker.request
             if request is not None and request.tenant_id == tenant_id:
-                progress = (now - worker.started) * self.rate
+                progress = (
+                    worker.done_work
+                    + (now - worker.work_mark) * self.rate * worker.speed
+                )
                 total += min(progress, request.cost)
         return total
 
@@ -190,20 +224,113 @@ class ThreadPoolServer:
         """Requests currently executing (one per busy worker)."""
         return [w.request for w in self.workers if w.request is not None]
 
+    # -- fault injection ----------------------------------------------------------
+    #
+    # These hooks are only ever called by repro.faults; a fault-free run
+    # never reaches them, so the hot path is untouched (DESIGN.md §11).
+
+    def set_worker_speed(self, index: int, speed: float) -> None:
+        """Change a worker's processing speed (1.0 healthy, 0.0 stalled).
+
+        If the worker is mid-request, its usage so far is flushed to the
+        scheduler at the *old* speed (refresh charging stays exact
+        across the boundary), progress is folded into ``done_work``, and
+        the completion event is rescheduled from the remaining cost at
+        the new speed -- or removed entirely while stalled.
+        """
+        if speed < 0:
+            raise ConfigurationError(f"worker speed must be >= 0, got {speed}")
+        worker = self.workers[index]
+        now = self.sim.now
+        request = worker.request
+        if request is not None:
+            usage = (now - worker.last_report) * self.rate * worker.speed
+            if usage > 0.0:
+                self.scheduler.refresh(request, usage, now)
+            worker.last_report = now
+            worker.done_work += (now - worker.work_mark) * self.rate * worker.speed
+            worker.work_mark = now
+            if worker.completion_event is not None:
+                self.sim.cancel(worker.completion_event)
+                worker.completion_event = None
+        worker.speed = float(speed)
+        if request is not None and speed > 0.0:
+            remaining = max(0.0, request.cost - worker.done_work)
+            worker.completion_event = self.sim.at(
+                now + remaining / (self.rate * speed),
+                self._finish,
+                worker,
+                request,
+            )
+
+    def crash_worker(self, index: int, redispatch: bool = True) -> Optional[Request]:
+        """Crash a worker: its in-flight request (if any) loses all
+        progress and is cancelled out of the scheduler's accounting; with
+        ``redispatch`` (the default) it is immediately re-enqueued -- the
+        service-level retry of a request lost to a dead worker -- keeping
+        its arrival time and seqno.  The worker accepts no work until
+        :meth:`restore_worker`.  Returns the interrupted request."""
+        worker = self.workers[index]
+        now = self.sim.now
+        worker.crashed = True
+        request = worker.request
+        if request is not None:
+            if worker.completion_event is not None:
+                self.sim.cancel(worker.completion_event)
+                worker.completion_event = None
+            worker.request = None
+            self.scheduler.cancel(request, now)
+            if redispatch:
+                self.scheduler.enqueue(request, now)
+                self._dispatch_idle()
+                self._ensure_refresh_timer()
+        return request
+
+    def restore_worker(self, index: int) -> None:
+        """Bring a crashed worker back at full speed and offer it work."""
+        worker = self.workers[index]
+        worker.crashed = False
+        worker.speed = 1.0
+        self._dispatch_idle()
+        self._ensure_refresh_timer()
+
+    def abort(self, request: Request) -> bool:
+        """Cancel a submitted request (client-side deadline/cancellation).
+
+        Works in either lifecycle phase: a queued request is removed
+        from the scheduler, a running one is torn off its worker (its
+        completion event is cancelled and the freed worker is re-offered
+        work).  Returns ``False`` for a stale abort (already completed
+        or cancelled)."""
+        now = self.sim.now
+        for worker in self.workers:
+            if worker.request is request:
+                if worker.completion_event is not None:
+                    self.sim.cancel(worker.completion_event)
+                    worker.completion_event = None
+                worker.request = None
+                cancelled = self.scheduler.cancel(request, now)
+                self._dispatch_idle()
+                return cancelled
+        return self.scheduler.cancel(request, now)
+
     # -- internals --------------------------------------------------------------------
 
     def _idle_workers(self) -> List[Worker]:
         return [w for w in self._dispatch_cycle if not w.busy]
 
     def _dispatch_idle(self) -> None:
-        """Offer work to every idle worker while the scheduler has any.
+        """Offer work to every idle, non-crashed worker while the
+        scheduler has any.
 
         All schedulers in this library are work conserving, so a ``None``
         from ``dequeue`` means the backlog is empty and the scan can stop.
+        Stalled workers (``speed == 0``) still accept work -- a degraded
+        thread holds its request frozen until its speed recovers.
         """
         now = self.sim.now
         for worker in self._dispatch_cycle:
-            if worker.busy:
+            if worker.busy or worker.crashed:
                 continue
             if self.scheduler.backlog == 0:
                 break
@@ -217,18 +344,29 @@ class ThreadPoolServer:
         worker.request = request
         worker.started = now
         worker.last_report = now
-        duration = request.cost / self.rate
-        worker.completion_event = self.sim.at(
-            now + duration, self._finish, worker, request
-        )
+        worker.done_work = 0.0
+        worker.work_mark = now
+        if worker.speed > 0.0:
+            duration = request.cost / (self.rate * worker.speed)
+            worker.completion_event = self.sim.at(
+                now + duration, self._finish, worker, request
+            )
+        else:
+            # Stalled: no completion until set_worker_speed revives it.
+            worker.completion_event = None
         for fn in self._dispatch_listeners:
             fn(request)
 
     def _finish(self, worker: Worker, request: Request) -> None:
         if worker.request is not request:
-            raise SimulationError("completion fired for a stale request")
+            raise SimulationError(
+                f"completion fired for a stale request on worker "
+                f"{worker.index}: expected {request.tenant_id}/"
+                f"{request.api}#{request.seqno}, worker is running "
+                f"{worker.request!r}"
+            )
         now = self.sim.now
-        final_usage = (now - worker.last_report) * self.rate
+        final_usage = (now - worker.last_report) * self.rate * worker.speed
         worker.request = None
         worker.completion_event = None
         request.completion_time = now
@@ -261,7 +399,7 @@ class ThreadPoolServer:
             if request is None:
                 continue
             any_busy = True
-            usage = (now - worker.last_report) * self.rate
+            usage = (now - worker.last_report) * self.rate * worker.speed
             if usage > 0.0:
                 self.scheduler.refresh(request, usage, now)
                 worker.last_report = now

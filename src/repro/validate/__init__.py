@@ -1,0 +1,16 @@
+"""Runtime invariant watchdog (DESIGN.md §11).
+
+:class:`ValidatingScheduler` wraps any scheduler and re-checks the
+invariant catalogue on every contract call; violations are reported
+through :mod:`repro.obs` (``invariant`` events, ``validate.violations``
+counter) and -- in strict mode -- raised as
+:class:`~repro.errors.InvariantViolation`.
+
+Enable per run with ``ExperimentConfig(validate=True)``, per process
+with ``REPRO_VALIDATE=1`` (the CI chaos job), or per CLI invocation
+with ``python -m repro.figures ... --validate``.
+"""
+
+from .watchdog import ValidatingScheduler, env_validate
+
+__all__ = ["ValidatingScheduler", "env_validate"]

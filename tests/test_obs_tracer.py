@@ -179,6 +179,14 @@ class TestInstrumentedRun:
             # The server stamps completion_time before complete().
             request.completion_time = now + 0.5
             scheduler.complete(request, request.cost, now + 0.5)
+        # The remaining taxonomy: a cancelled request plus the fault /
+        # invariant kinds emitted by repro.faults and repro.validate.
+        now += 1.0
+        doomed = Request(tenant_id="T0", cost=2.0, api="op")
+        scheduler.enqueue(doomed, now)
+        assert scheduler.cancel(doomed, now)
+        tracer.fault(now, "worker_crash", worker=0)
+        tracer.invariant(now, "vt-monotonic", tenant="T0", message="test")
         kinds = {event.kind for event in tracer}
         assert kinds == set(EVENT_KINDS)
         for event in tracer:

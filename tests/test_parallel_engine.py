@@ -7,17 +7,22 @@ no requests at the scaled-down test durations, so comparisons here are
 NaN-aware (``nan != nan`` would otherwise report false drift).
 """
 
+import dataclasses
+import json
 import math
 import pickle
+import time
+from pathlib import Path
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import CellExecutionError, ConfigurationError
 from repro.experiments.expensive_requests import expensive_requests_config
 from repro.experiments.runner import run_comparison
 from repro.experiments.suite import SuiteParameters, run_suite
 from repro.obs import clear_session, current_session, trace_session
 from repro.parallel import (
+    CellFailure,
     ExecutionContext,
     RunCache,
     RunSpec,
@@ -228,7 +233,7 @@ class TestRunCells:
 
     def test_worker_errors_propagate(self):
         config = small_config(schedulers=("no-such-scheduler",))
-        with pytest.raises(Exception):
+        with pytest.raises(CellExecutionError) as excinfo:
             run_cells(
                 [
                     RunSpec(
@@ -239,3 +244,216 @@ class TestRunCells:
                 ],
                 jobs=2,
             )
+        # Regression: the wrapper names the failing cell, not just the
+        # anonymous worker traceback.
+        assert excinfo.value.index == 0
+        assert "no-such-scheduler" in excinfo.value.label
+
+
+@dataclasses.dataclass(frozen=True)
+class _CrashCell:
+    """Picklable cell that always raises."""
+
+    tag: int = 0
+
+    def label(self):
+        return f"crash-{self.tag}"
+
+    def execute(self):
+        raise ValueError("boom")
+
+
+@dataclasses.dataclass(frozen=True)
+class _SleepCell:
+    """Picklable cell that wedges its worker."""
+
+    seconds: float = 30.0
+
+    def label(self):
+        return "sleeper"
+
+    def execute(self):
+        time.sleep(self.seconds)
+        return "woke"
+
+
+@dataclasses.dataclass(frozen=True)
+class _FlakyCell:
+    """Fails the first ``fail_times`` executions, then succeeds.
+
+    Attempt state lives in a file so the count survives process
+    boundaries (pool workers re-execute retried cells)."""
+
+    marker: str
+    fail_times: int
+
+    def label(self):
+        return "flaky"
+
+    def execute(self):
+        path = Path(self.marker)
+        count = int(path.read_text()) if path.exists() else 0
+        path.write_text(str(count + 1))
+        if count < self.fail_times:
+            raise ValueError(f"transient failure {count}")
+        return "ok"
+
+
+class TestFailurePolicy:
+    def test_cell_execution_error_is_attributable(self):
+        cells = [_ValueCell(0), _CrashCell(tag=7)]
+        with pytest.raises(CellExecutionError) as excinfo:
+            run_cells(cells, jobs=1)
+        err = excinfo.value
+        assert err.index == 1
+        assert err.cell is cells[1]
+        assert err.label == "crash-7"
+        assert "crash-7" in str(err) and "boom" in str(err)
+        assert isinstance(err.__cause__, ValueError)
+
+    def test_pool_worker_errors_wrapped_identically(self):
+        cells = [_ValueCell(0), _CrashCell(tag=3)]
+        with pytest.raises(CellExecutionError) as excinfo:
+            run_cells(cells, jobs=2)
+        assert excinfo.value.index == 1
+        assert excinfo.value.label == "crash-3"
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_quarantine_returns_other_results(self, jobs):
+        results = run_cells(
+            [_ValueCell(1), _CrashCell(), _ValueCell(3)],
+            jobs=jobs,
+            on_error="quarantine",
+        )
+        assert results[0] == 1 and results[2] == 3
+        failure = results[1]
+        assert isinstance(failure, CellFailure)
+        assert failure.index == 1
+        assert failure.error_type == "ValueError"
+        assert failure.attempts == 1
+        assert failure.as_dict()["error"] == "boom"
+
+    def test_retries_recover_transient_failures_serial(self, tmp_path):
+        cell = _FlakyCell(marker=str(tmp_path / "m"), fail_times=2)
+        assert run_cells([cell], jobs=1, retries=2) == ["ok"]
+        assert (tmp_path / "m").read_text() == "3"
+
+    def test_retries_recover_transient_failures_in_pool(self, tmp_path):
+        cell = _FlakyCell(marker=str(tmp_path / "m"), fail_times=1)
+        assert run_cells([cell], jobs=2, retries=1) == ["ok"]
+
+    def test_exhausted_retries_report_attempt_count(self, tmp_path):
+        cell = _FlakyCell(marker=str(tmp_path / "m"), fail_times=5)
+        (failure,) = run_cells(
+            [cell], jobs=1, retries=1, on_error="quarantine"
+        )
+        assert isinstance(failure, CellFailure)
+        assert failure.attempts == 2  # first run + one retry
+
+    def test_failed_cells_are_never_cached(self, tmp_path):
+        cache = RunCache(tmp_path)
+        (failure,) = run_cells(
+            [_CrashCell()], cache=cache, on_error="quarantine"
+        )
+        assert isinstance(failure, CellFailure)
+        assert cache.stores == 0
+
+    def test_quarantined_cell_recorded_in_session_manifest(self, tmp_path):
+        with trace_session(tmp_path / "traces") as session:
+            results = run_cells(
+                [_ValueCell(1), _CrashCell()], on_error="quarantine"
+            )
+        assert results[0] == 1
+        assert session.errors and session.errors[0]["error_type"] == "ValueError"
+        (failed_run,) = [name for name in session.runs if "failed" in name]
+        manifest = json.loads(
+            (tmp_path / "traces" / failed_run / "manifest.json").read_text()
+        )
+        assert manifest["errors"] == [
+            {
+                "index": 1,
+                "label": "crash-0",
+                "error_type": "ValueError",
+                "error": "boom",
+                "attempts": 1,
+            }
+        ]
+
+    def test_policy_flows_through_execution_context(self):
+        with execution_context(on_error="quarantine", retries=0):
+            (failure,) = run_cells([_CrashCell()])
+        assert isinstance(failure, CellFailure)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"on_error": "explode"},
+            {"timeout": 0.0},
+            {"timeout": -1.0},
+            {"retries": -1},
+        ],
+    )
+    def test_invalid_policy_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            run_cells([_ValueCell(1)], **kwargs)
+        with pytest.raises(ConfigurationError):
+            with execution_context(**kwargs):
+                pass
+
+
+class TestTimeouts:
+    def test_timed_out_cell_quarantined_others_survive(self):
+        started = time.monotonic()
+        results = run_cells(
+            [_ValueCell(1), _SleepCell(seconds=30.0)],
+            jobs=2,
+            timeout=0.5,
+            on_error="quarantine",
+        )
+        elapsed = time.monotonic() - started
+        assert results[0] == 1
+        failure = results[1]
+        assert isinstance(failure, CellFailure)
+        assert failure.error_type == "TimeoutError"
+        assert "wall-clock" in failure.error
+        # The wedged worker must not be joined.
+        assert elapsed < 10.0
+
+    def test_timeout_raises_under_fail_fast(self):
+        with pytest.raises(CellExecutionError) as excinfo:
+            run_cells([_SleepCell(seconds=30.0)], jobs=2, timeout=0.5)
+        assert isinstance(excinfo.value.__cause__, TimeoutError)
+
+    def test_serial_execution_ignores_timeout(self):
+        # Documented: a serial cell cannot be preempted from within its
+        # own process, so the limit only applies to pools.
+        assert run_cells([_ValueCell(5)], jobs=1, timeout=0.001) == [5]
+
+
+class TestSuiteQuarantine:
+    def test_suite_with_crashing_cells_completes(self, monkeypatch):
+        # Sabotage one scheduler's runs; the suite must still return
+        # every other cell's results and list the failures.
+        import repro.experiments.runner as runner_module
+
+        original = runner_module.run_single
+
+        def sabotaged(name, specs, config, **kwargs):
+            if name == "wf2q-e":
+                raise RuntimeError("seeded cell crash")
+            return original(name, specs, config, **kwargs)
+
+        monkeypatch.setattr(runner_module, "run_single", sabotaged)
+        result = run_suite(SMALL_PARAMS, schedulers=("wfq-e", "wf2q-e"))
+        assert len(result.errors) == SMALL_PARAMS.num_experiments
+        for record in result.errors:
+            assert record["error_type"] == "RuntimeError"
+            assert "wf2q-e" in record["label"]
+        for record in result.p99:
+            assert record["wfq-e"]  # healthy scheduler fully populated
+            assert record["wf2q-e"] == {}  # quarantined: reads as NaN
+        assert math.isnan(result.median_speedup("wf2q-e", "T1"))
+
+    def test_clean_suite_has_no_errors(self):
+        result = run_suite(SMALL_PARAMS, schedulers=("wfq-e",))
+        assert result.errors == []
