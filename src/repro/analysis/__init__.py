@@ -1,0 +1,43 @@
+"""Simulation-safety static analysis for the repro codebase.
+
+Every result this repository produces rests on properties the runtime
+watchdog (:mod:`repro.validate`) can only check *per run*: determinism
+(all randomness flows from :func:`repro.simulator.rng.make_rng`, never
+from wall clocks or global RNG state), exact virtual-time arithmetic,
+uniform scheduler API conformance, and sim-purity (no ``assert`` for
+runtime invariants -- ``python -O`` strips them).  This package checks
+those properties *statically*, over the AST, so a violation is caught at
+review time instead of corrupting a run.
+
+The framework is a small visitor-based plugin system:
+
+* a :class:`~repro.analysis.base.Rule` declares the AST node types it
+  wants and reports :class:`~repro.analysis.findings.Finding` objects
+  with a stable per-rule code (``RPR0xx``);
+* the :class:`~repro.analysis.engine.Analyzer` parses each file once,
+  dispatches nodes to the interested rules, builds a cross-file
+  :class:`~repro.analysis.project.ProjectModel` for the conformance
+  rules, and applies inline ``# repro: ignore[RPR0xx]`` suppressions
+  (an unused suppression is itself a finding, ``RPR000``);
+* ``python -m repro.analysis`` runs the whole catalogue from the command
+  line (text or JSON output, nonzero exit on findings) and gates CI.
+
+See DESIGN.md §12 for the rule catalogue and how to add a rule.
+"""
+
+from __future__ import annotations
+
+from .base import Rule, RuleContext
+from .engine import AnalysisResult, Analyzer
+from .findings import Finding
+from .rules import ALL_RULES, rule_catalogue
+
+__all__ = [
+    "Analyzer",
+    "AnalysisResult",
+    "Finding",
+    "Rule",
+    "RuleContext",
+    "ALL_RULES",
+    "rule_catalogue",
+]

@@ -1,0 +1,135 @@
+"""Command-line interface: ``python -m repro.analysis``.
+
+Examples::
+
+    python -m repro.analysis                    # analyze src/repro
+    python -m repro.analysis src/repro --format json
+    python -m repro.analysis --select RPR001,RPR030 src/repro
+    python -m repro.analysis --list-rules
+
+Exit status: 0 when clean, 1 when findings were reported, 2 on usage
+errors -- so the CI lint job is a single invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence, Set
+
+from .engine import PARSE_ERROR_CODE, Analyzer
+from .rules import rule_catalogue
+from .suppress import UNUSED_SUPPRESSION_CODE
+
+__all__ = ["main"]
+
+
+def _parse_codes(values: List[str]) -> Set[str]:
+    codes: Set[str] = set()
+    for value in values:
+        codes.update(c.strip() for c in value.split(",") if c.strip())
+    return codes
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Simulation-safety static analysis: determinism, virtual-time "
+            "hygiene, scheduler conformance, and sim-purity rules for the "
+            "repro codebase (DESIGN.md §12)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="CODES",
+        help="comma-separated rule codes to run exclusively (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="CODES",
+        help="comma-separated rule codes to skip (repeatable)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _default_paths() -> List[str]:
+    candidate = os.path.join("src", "repro")
+    if os.path.isdir(candidate):
+        return [candidate]
+    return []
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        catalogue = dict(rule_catalogue())
+        catalogue[UNUSED_SUPPRESSION_CODE] = (
+            "unused-suppression: `# repro: ignore` comment that silenced "
+            "nothing (engine built-in)"
+        )
+        catalogue[PARSE_ERROR_CODE] = (
+            "parse-error: file could not be parsed (engine built-in)"
+        )
+        for code in sorted(catalogue):
+            print(f"{code}  {catalogue[code]}")
+        return 0
+
+    paths = list(args.paths) or _default_paths()
+    if not paths:
+        parser.error("no paths given and src/repro not found")
+    for path in paths:
+        if not os.path.exists(path):
+            parser.error(f"path does not exist: {path}")
+
+    select = _parse_codes(args.select) or None
+    ignore = _parse_codes(args.ignore) or None
+    analyzer = Analyzer(select=select, ignore=ignore)
+    result = analyzer.run(paths)
+
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in result.findings:
+            print(finding.format_text())
+        counts = result.counts_by_code()
+        if result.findings:
+            breakdown = ", ".join(f"{c}: {n}" for c, n in counts.items())
+            print(
+                f"{len(result.findings)} finding(s) in "
+                f"{result.files_analyzed} file(s) ({breakdown})"
+            )
+        else:
+            print(
+                f"clean: {result.files_analyzed} file(s), "
+                f"{len(analyzer.rules)} rule(s), 0 findings"
+            )
+    return 1 if result.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

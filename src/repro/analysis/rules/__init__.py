@@ -1,0 +1,64 @@
+"""The RPR rule catalogue.
+
+====== ===================== ==============================================
+code   rule                  property protected
+====== ===================== ==============================================
+RPR000 unused-suppression    ``# repro: ignore`` hygiene (engine built-in)
+RPR001 wall-clock            determinism: no wall-clock reads in sim logic
+RPR002 unseeded-rng          determinism: RNG flows from ``make_rng`` only
+RPR010 float-equality        virtual-time hygiene: no float ``==``/``!=``
+                             in ``repro.core``
+RPR011 frozen-request-field  virtual-time hygiene: request identity is
+                             immutable after construction
+RPR012 unordered-iteration   virtual-time hygiene: no set-order-dependent
+                             scheduling decisions
+RPR020 scheduler-surface     conformance: registered schedulers implement
+                             the full enqueue/dequeue/refresh/complete/
+                             cancel surface
+RPR021 tracer-pairing        conformance: overridden state-mutating hooks
+                             keep emitting their paired obs event
+RPR030 runtime-assert        sim-purity: no ``assert`` for runtime
+                             invariants (stripped under ``python -O``)
+RPR090 parse-error           file could not be parsed (engine built-in)
+====== ===================== ==============================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from ..base import Rule
+from .conformance import SchedulerSurfaceRule, TracerPairingRule
+from .determinism import UnseededRngRule, WallClockRule
+from .hygiene import FloatEqualityRule, FrozenRequestFieldRule, UnorderedIterationRule
+from .purity import RuntimeAssertRule
+
+__all__ = [
+    "ALL_RULES",
+    "rule_catalogue",
+    "WallClockRule",
+    "UnseededRngRule",
+    "FloatEqualityRule",
+    "FrozenRequestFieldRule",
+    "UnorderedIterationRule",
+    "SchedulerSurfaceRule",
+    "TracerPairingRule",
+    "RuntimeAssertRule",
+]
+
+#: Every rule class, in catalogue (code) order.
+ALL_RULES: List[Type[Rule]] = [
+    WallClockRule,
+    UnseededRngRule,
+    FloatEqualityRule,
+    FrozenRequestFieldRule,
+    UnorderedIterationRule,
+    SchedulerSurfaceRule,
+    TracerPairingRule,
+    RuntimeAssertRule,
+]
+
+
+def rule_catalogue() -> Dict[str, str]:
+    """Mapping of rule code to one-line description (``--list-rules``)."""
+    return {cls.code: f"{cls.name}: {cls.description}" for cls in ALL_RULES}

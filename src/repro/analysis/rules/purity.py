@@ -1,0 +1,39 @@
+"""Sim-purity rule: RPR030 (no runtime ``assert``)."""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Tuple
+
+from ..base import Rule, RuleContext
+
+__all__ = ["RuntimeAssertRule"]
+
+
+class RuntimeAssertRule(Rule):
+    """RPR030: no ``assert`` statements in library code.
+
+    ``python -O`` strips asserts, so an invariant guarded by one simply
+    stops being checked in optimized deployments -- the worst possible
+    failure mode for correctness machinery.  Raise
+    :class:`repro.errors.SimulationError` /
+    :class:`~repro.errors.SchedulerError` (or route through
+    :mod:`repro.validate`) instead; test code is free to assert, which
+    is why the CI gate runs the analyzer over ``src/repro`` only.
+    """
+
+    code: ClassVar[str] = "RPR030"
+    name: ClassVar[str] = "runtime-assert"
+    description: ClassVar[str] = (
+        "assert used for a runtime invariant (vanishes under python -O); "
+        "raise a repro.errors exception"
+    )
+    node_types: ClassVar[Tuple[type, ...]] = (ast.Assert,)
+
+    def visit(self, node: ast.AST, ctx: RuleContext) -> None:
+        ctx.report(
+            self,
+            node,
+            "`assert` is stripped by python -O; raise SimulationError/"
+            "SchedulerError from repro.errors (or use repro.validate)",
+        )

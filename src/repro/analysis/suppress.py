@@ -1,0 +1,102 @@
+"""Inline suppressions: ``# repro: ignore[RPR0xx]``.
+
+A suppression comment names the rule codes it silences and applies to
+findings on its own line.  Suppressions are accounted for: one that
+silences nothing is itself reported (``RPR000``), so stale ignores
+cannot accumulate -- the same contract as mypy's
+``warn_unused_ignores``.  A bare ``# repro: ignore`` without a code
+list is rejected as malformed rather than treated as a blanket waiver.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+__all__ = ["Suppression", "SuppressionIndex", "UNUSED_SUPPRESSION_CODE"]
+
+#: Code under which unused or malformed suppressions are reported.
+UNUSED_SUPPRESSION_CODE = "RPR000"
+
+_COMMENT_RE = re.compile(r"#\s*repro:\s*ignore\b(?P<codes>\[[^\]]*\])?")
+_CODE_RE = re.compile(r"RPR\d{3}")
+
+
+@dataclass
+class Suppression:
+    """One ``# repro: ignore[...]`` comment."""
+
+    line: int
+    col: int
+    codes: Tuple[str, ...]
+    malformed: bool = False
+    used_codes: Set[str] = field(default_factory=set)
+
+    def suppresses(self, code: str) -> bool:
+        return not self.malformed and code in self.codes
+
+    @property
+    def unused_codes(self) -> Tuple[str, ...]:
+        return tuple(c for c in self.codes if c not in self.used_codes)
+
+
+class SuppressionIndex:
+    """All suppression comments of one module, keyed by line."""
+
+    def __init__(self, suppressions: Iterable[Suppression] = ()) -> None:
+        self._by_line: Dict[int, List[Suppression]] = {}
+        for sup in suppressions:
+            self._by_line.setdefault(sup.line, []).append(sup)
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        """Scan ``source`` for suppression comments.
+
+        Uses :mod:`tokenize` so comment-looking text inside string
+        literals is never misread as a suppression.  Sources that fail
+        to tokenize yield an empty index (the analyzer reports the parse
+        failure separately).
+        """
+        sups: List[Suppression] = []
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for tok in tokens:
+                if tok.type != tokenize.COMMENT:
+                    continue
+                match = _COMMENT_RE.search(tok.string)
+                if match is None:
+                    continue
+                raw = match.group("codes")
+                codes = tuple(_CODE_RE.findall(raw)) if raw else ()
+                sups.append(
+                    Suppression(
+                        line=tok.start[0],
+                        col=tok.start[1],
+                        codes=codes,
+                        malformed=not codes,
+                    )
+                )
+        except (tokenize.TokenizeError, IndentationError, SyntaxError):
+            return cls()
+        return cls(sups)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_line.values())
+
+    def suppressed(self, line: int, code: str) -> bool:
+        """True if a suppression covers ``code`` on ``line``; marks it used."""
+        hit = False
+        for sup in self._by_line.get(line, ()):
+            if sup.suppresses(code):
+                sup.used_codes.add(code)
+                hit = True
+        return hit
+
+    def all_suppressions(self) -> List[Suppression]:
+        out: List[Suppression] = []
+        for line in sorted(self._by_line):
+            out.extend(self._by_line[line])
+        return out

@@ -17,7 +17,7 @@ verify it is schedule-identical to WF2Q on the paper's workloads.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from .scheduler import TenantState
 from .wf2q import WF2QScheduler
@@ -33,9 +33,12 @@ class MSF2QScheduler(WF2QScheduler):
     def _fallback(self, thread_id: int, vnow: float) -> Optional[TenantState]:
         return self._min_start(self._backlogged.values())
 
-    def _index_spec(self) -> Optional[dict]:
+    def _index_spec(self) -> Optional[Dict[str, Any]]:
         # WF2Q eligibility slot, but the fallback orders by start tag.
         return {"start": True, "staggers": (0.0,)}
 
     def _fallback_indexed(self, thread_id: int, vnow: float) -> Optional[TenantState]:
-        return self._index.min_start()
+        index = self._index
+        if index is None:  # dequeue routes here only in indexed mode
+            raise SchedulerError("indexed selection invoked without an index")
+        return index.min_start()

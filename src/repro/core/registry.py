@@ -25,7 +25,7 @@ logic and estimation strategy", §6.2).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Type
 
 from ..estimation import CostEstimator, EMAEstimator
 from .drr import DRRScheduler
@@ -35,6 +35,7 @@ from .round_robin import RoundRobinScheduler
 from .scheduler import Scheduler
 from .sfq import SFQScheduler
 from .twodfq import TwoDFQEScheduler, TwoDFQScheduler
+from .vt_base import VirtualTimeScheduler
 from .wf2q import WF2QScheduler
 from .wf2qplus import WF2QPlusScheduler
 from .wfq import WFQScheduler
@@ -42,7 +43,7 @@ from .wfq import WFQScheduler
 __all__ = ["make_scheduler", "scheduler_names", "SCHEDULER_CLASSES"]
 
 #: Plain (non-estimated) scheduler classes by registry name.
-SCHEDULER_CLASSES: Dict[str, type] = {
+SCHEDULER_CLASSES: Dict[str, Type[Scheduler]] = {
     cls.name: cls
     for cls in (
         FIFOScheduler,
@@ -60,7 +61,7 @@ SCHEDULER_CLASSES: Dict[str, type] = {
 
 
 def _ema_variant(
-    base: type,
+    base: Type[VirtualTimeScheduler],
 ) -> Callable[..., Scheduler]:
     """Factory for a scheduler driven by the paper's EMA estimator."""
 
@@ -70,7 +71,7 @@ def _ema_variant(
         estimator: Optional[CostEstimator] = None,
         alpha: float = 0.99,
         initial_estimate: float = 1.0,
-        **kwargs,
+        **kwargs: Any,
     ) -> Scheduler:
         if estimator is None:
             estimator = EMAEstimator(alpha=alpha, initial_estimate=initial_estimate)
@@ -94,7 +95,7 @@ def scheduler_names() -> list[str]:
 
 
 def make_scheduler(
-    name: str, num_threads: int, thread_rate: float = 1.0, **kwargs
+    name: str, num_threads: int, thread_rate: float = 1.0, **kwargs: Any
 ) -> Scheduler:
     """Construct a scheduler by registry name.
 

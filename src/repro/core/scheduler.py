@@ -32,10 +32,13 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import deque
-from typing import ClassVar, Deque, Dict, Optional
+from typing import TYPE_CHECKING, ClassVar, Deque, Dict, Optional
 
 from ..errors import ConfigurationError, SchedulerError
 from .request import Request, RequestPhase
+
+if TYPE_CHECKING:  # import cycle: repro.obs is instrumented *by* core
+    from ..obs.tracer import Tracer
 
 __all__ = ["Scheduler", "TenantState", "MIN_COST"]
 
@@ -130,7 +133,7 @@ class Scheduler(ABC):
         #: Instrumented subclasses guard every emission site with a single
         #: ``if self._trace is not None`` check -- the whole disabled-mode
         #: overhead contract (see :mod:`repro.obs.tracer`).
-        self._trace = None
+        self._trace: Optional["Tracer"] = None
 
     # -- introspection -------------------------------------------------------
 
@@ -173,11 +176,11 @@ class Scheduler(ABC):
         return self._tenants
 
     @property
-    def tracer(self):
+    def tracer(self) -> Optional["Tracer"]:
         """The attached tracer, or ``None`` when tracing is off."""
         return self._trace
 
-    def attach_tracer(self, tracer) -> None:
+    def attach_tracer(self, tracer: Optional["Tracer"]) -> None:
         """Attach a :class:`repro.obs.Tracer` (or detach with ``None``).
 
         A disabled tracer is stored as ``None`` so the hot path keeps

@@ -50,13 +50,23 @@ instead of once per candidate per dequeue as in the linear scans.
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union, cast
 
 from ..errors import SchedulerError
 from ..estimation.base import CostEstimator
 from .scheduler import MIN_COST, TenantState
 
 __all__ = ["SelectionIndex"]
+
+#: One lazy-invalidation heap entry.  The *prefix* is the policy's sort
+#: key -- ``(finish, estimate, seqno)`` for the finish heap, ``(start,
+#: estimate, seqno)`` for the start heap, ``(staggered start, finish,
+#: estimate, seqno)`` for a pending heap -- and every entry ends with
+#: the fixed ``(..., sel_version, state)`` suffix the invalidation
+#: machinery reads via ``entry[-2]`` / ``entry[-1]``.  Entries are plain
+#: tuples (not objects) because heapq compares them lexicographically on
+#: the hot path; the suffix accessors below recover the typed fields.
+_HeapEntry = Tuple[Union[float, int, "TenantState"], ...]
 
 #: Heaps are compacted (stale entries filtered out, then re-heapified)
 #: once they grow past ``max(_COMPACT_MIN, 2 * live_entries)``; amortized
@@ -108,7 +118,7 @@ class SelectionIndex:
         staggers: Sequence[float] = (),
     ) -> None:
         self._estimator = estimator
-        self._heaps: List[List[tuple]] = []
+        self._heaps: List[List[_HeapEntry]] = []
         self._limits: List[int] = []
         self._finish_heap = self._new_heap() if finish else -1
         self._start_heap = self._new_heap() if start else -1
@@ -174,11 +184,16 @@ class SelectionIndex:
         """Invalidate every entry of a tenant that left the backlog."""
         state.sel_version += 1
 
-    def _push(self, heap_id: int, entry: tuple) -> None:
+    def _push(self, heap_id: int, entry: _HeapEntry) -> None:
         heap = self._heaps[heap_id]
         heapq.heappush(heap, entry)
         if len(heap) >= self._limits[heap_id]:
-            live = [e for e in heap if e[-2] == e[-1].sel_version]
+            # The suffix layout is fixed: entry[-2] is the sel_version
+            # snapshot, entry[-1] the TenantState (see _HeapEntry).
+            live = [
+                e for e in heap
+                if e[-2] == cast(TenantState, e[-1]).sel_version
+            ]
             heapq.heapify(live)
             self._heaps[heap_id] = live
             self._limits[heap_id] = max(_COMPACT_MIN, 2 * len(live))
@@ -186,14 +201,17 @@ class SelectionIndex:
 
     # -- queries -------------------------------------------------------------
 
-    def _peek(self, heap_id: int) -> Optional[tuple]:
+    def _peek(self, heap_id: int) -> Optional[_HeapEntry]:
         """Top fresh entry of a heap, discarding superseded ones."""
         heap = self._heaps[heap_id]
-        top = None
+        top: Optional[_HeapEntry] = None
         stale = 0
         while heap:
             entry = heap[0]
-            if entry[-2] == entry[-1].sel_version:
+            # Hot path: the (version, state) suffix is read positionally
+            # rather than through typed accessors to keep this loop free
+            # of extra function calls (the <5% bench budget).
+            if entry[-2] == entry[-1].sel_version:  # type: ignore[union-attr]
                 top = entry
                 break
             heapq.heappop(heap)
@@ -208,7 +226,7 @@ class SelectionIndex:
         if self._finish_heap < 0:
             raise SchedulerError("selection index was built without a finish heap")
         entry = self._peek(self._finish_heap)
-        return entry[-1] if entry is not None else None
+        return cast(TenantState, entry[-1]) if entry is not None else None
 
     def min_start(self) -> Optional[TenantState]:
         """Backlogged tenant with the smallest ``(start tag, head
@@ -216,7 +234,7 @@ class SelectionIndex:
         if self._start_heap < 0:
             raise SchedulerError("selection index was built without a start heap")
         entry = self._peek(self._start_heap)
-        return entry[-1] if entry is not None else None
+        return cast(TenantState, entry[-1]) if entry is not None else None
 
     def min_start_tag(self) -> Optional[float]:
         """Smallest start tag over backlogged tenants (WF2Q+ virtual-time
@@ -224,7 +242,7 @@ class SelectionIndex:
         if self._start_heap < 0:
             raise SchedulerError("selection index was built without a start heap")
         entry = self._peek(self._start_heap)
-        return entry[0] if entry is not None else None
+        return cast(float, entry[0]) if entry is not None else None
 
     def min_eligible_finish(
         self, slot: int, threshold: float
@@ -242,11 +260,12 @@ class SelectionIndex:
         moved = 0
         while pending:
             entry = pending[0]
-            if entry[-2] != entry[-1].sel_version:
+            # Hot path: positional suffix reads, as in _peek.
+            if entry[-2] != entry[-1].sel_version:  # type: ignore[union-attr]
                 heapq.heappop(pending)
                 stale += 1
                 continue
-            if entry[0] <= threshold:
+            if entry[0] <= threshold:  # type: ignore[operator]
                 heapq.heappop(pending)
                 # Re-key from staggered start to finish tag.
                 self._push(ready_id, entry[1:])
@@ -258,7 +277,7 @@ class SelectionIndex:
         if moved:
             self.pushes += moved
         top = self._peek(ready_id)
-        return top[-1] if top is not None else None
+        return cast(TenantState, top[-1]) if top is not None else None
 
     # -- introspection -------------------------------------------------------
 
@@ -266,7 +285,7 @@ class SelectionIndex:
     def staggers(self) -> Tuple[float, ...]:
         return self._staggers
 
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, int]:
         """Lazy-invalidation churn counters plus current live occupancy.
 
         ``stale_pops`` counts superseded entries discarded at a heap top,
@@ -283,9 +302,9 @@ class SelectionIndex:
             "entries": sum(len(heap) for heap in self._heaps),
         }
 
-    def heap_sizes(self) -> dict:
+    def heap_sizes(self) -> Dict[str, int]:
         """Current heap occupancy (monitoring and tests)."""
-        sizes = {}
+        sizes: Dict[str, int] = {}
         if self._finish_heap >= 0:
             sizes["finish"] = len(self._heaps[self._finish_heap])
         if self._start_heap >= 0:

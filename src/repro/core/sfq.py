@@ -14,7 +14,7 @@ WFQ in this setting because the simulated server is not variable-rate
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from .scheduler import TenantState
 from .vt_base import VirtualTimeScheduler
@@ -30,10 +30,13 @@ class SFQScheduler(VirtualTimeScheduler):
     def _select(self, thread_id: int, vnow: float) -> Optional[TenantState]:
         return self._min_start(self._backlogged.values())
 
-    def _index_spec(self) -> Optional[dict]:
+    def _index_spec(self) -> Optional[Dict[str, Any]]:
         return {"start": True}
 
     def _select_indexed(self, thread_id: int, vnow: float) -> Optional[TenantState]:
         # Always finds a tenant while anything is backlogged, so the
         # fallback path never fires for SFQ.
-        return self._index.min_start()
+        index = self._index
+        if index is None:  # dequeue routes here only in indexed mode
+            raise SchedulerError("indexed selection invoked without an index")
+        return index.min_start()

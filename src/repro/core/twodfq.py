@@ -35,7 +35,7 @@ requests -- pessimism turns estimation error into spatial isolation.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from ..estimation.base import CostEstimator
 from ..estimation.pessimistic import PessimisticEstimator
@@ -91,7 +91,7 @@ class TwoDFQScheduler(VirtualTimeScheduler):
     # eligible there and the fallback fires rarely; on thread 0 the
     # eligibility set equals WF2Q's.
 
-    def _index_spec(self) -> Optional[dict]:
+    def _index_spec(self) -> Optional[Dict[str, Any]]:
         # One eligibility slot per worker thread: thread ``i`` gates on
         # the staggered start tag ``S_f - (i/n) * l_head``.  Touch cost
         # is O(n log N); dequeue drops to O(log N) amortized per thread,
@@ -103,7 +103,10 @@ class TwoDFQScheduler(VirtualTimeScheduler):
         }
 
     def _select_indexed(self, thread_id: int, vnow: float) -> Optional[TenantState]:
-        return self._index.min_eligible_finish(
+        index = self._index
+        if index is None:  # dequeue routes here only in indexed mode
+            raise SchedulerError("indexed selection invoked without an index")
+        return index.min_eligible_finish(
             thread_id, self._eligibility_threshold(vnow)
         )
 

@@ -41,7 +41,7 @@ Selection runs in one of two interchangeable modes:
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Any, Dict, Iterable, Optional
 
 from ..errors import SchedulerError
 from ..estimation.base import CostEstimator
@@ -452,7 +452,7 @@ class VirtualTimeScheduler(Scheduler):
         smallest finish tag, i.e. the WFQ decision."""
         return self._min_finish(self._backlogged.values())
 
-    def _index_spec(self) -> Optional[dict]:
+    def _index_spec(self) -> Optional[Dict[str, Any]]:
         """Describe the ordered structures this policy's indexed
         selection needs, as keyword arguments for
         :class:`~repro.core.selection.SelectionIndex` (``finish``,
@@ -471,7 +471,10 @@ class VirtualTimeScheduler(Scheduler):
     def _fallback_indexed(self, thread_id: int, vnow: float) -> Optional[TenantState]:
         """Indexed counterpart of :meth:`_fallback` (default: smallest
         finish tag from the index)."""
-        return self._index.min_finish()
+        index = self._index
+        if index is None:  # only reachable if dequeue's routing is broken
+            raise SchedulerError("indexed fallback invoked without an index")
+        return index.min_finish()
 
     # -- tracing hooks (only called while a tracer is attached) -----------------
 

@@ -17,7 +17,7 @@ proportional to the maximum request size.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from .scheduler import TenantState
 from .vt_base import VirtualTimeScheduler
@@ -40,15 +40,16 @@ class WF2QScheduler(VirtualTimeScheduler):
 
     # _fallback inherited: min finish tag over everything (work conserving).
 
-    def _index_spec(self) -> Optional[dict]:
+    def _index_spec(self) -> Optional[Dict[str, Any]]:
         # One eligibility slot (stagger 0: plain ``S_f <= v(now)``) plus
         # the finish heap backing the work-conserving fallback.
         return {"finish": True, "staggers": (0.0,)}
 
     def _select_indexed(self, thread_id: int, vnow: float) -> Optional[TenantState]:
-        return self._index.min_eligible_finish(
-            0, self._eligibility_threshold(vnow)
-        )
+        index = self._index
+        if index is None:  # dequeue routes here only in indexed mode
+            raise SchedulerError("indexed selection invoked without an index")
+        return index.min_eligible_finish(0, self._eligibility_threshold(vnow))
 
     def _trace_eligible_count(self, thread_id: int, vnow: float) -> int:
         # Tracing only: |{ f in A : S_f <= v(now) }|, the all-or-nothing

@@ -13,7 +13,7 @@ practice (§6); we include it to verify that claim.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from .request import Request
 from .scheduler import TenantState
@@ -56,7 +56,7 @@ class WF2QPlusScheduler(WF2QScheduler):
         )
         return True
 
-    def _index_spec(self) -> Optional[dict]:
+    def _index_spec(self) -> Optional[Dict[str, Any]]:
         # WF2Q's eligibility slot and fallback, plus the start heap that
         # backs the ``min_f S_f`` term of the virtual-time function.
         return {"finish": True, "start": True, "staggers": (0.0,)}

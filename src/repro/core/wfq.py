@@ -13,7 +13,7 @@ pool with expensive requests -- a bursty schedule.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from .scheduler import TenantState
 from .vt_base import VirtualTimeScheduler
@@ -30,8 +30,11 @@ class WFQScheduler(VirtualTimeScheduler):
         # No eligibility criterion: every backlogged tenant is a candidate.
         return self._min_finish(self._backlogged.values())
 
-    def _index_spec(self) -> Optional[dict]:
+    def _index_spec(self) -> Optional[Dict[str, Any]]:
         return {"finish": True}
 
     def _select_indexed(self, thread_id: int, vnow: float) -> Optional[TenantState]:
-        return self._index.min_finish()
+        index = self._index
+        if index is None:  # dequeue routes here only in indexed mode
+            raise SchedulerError("indexed selection invoked without an index")
+        return index.min_finish()

@@ -22,6 +22,7 @@ from typing import Dict, List, Tuple
 
 from ..core.registry import make_scheduler
 from ..core.request import Request
+from ..errors import SchedulerError
 from ..obs.session import current_session
 
 __all__ = ["ScheduledSlot", "worked_example", "render_schedule", "gap_statistics"]
@@ -106,7 +107,15 @@ def worked_example(
             end_time, _, done = heapq.heappop(completions)
             scheduler.complete(done, done.cost, end_time)
         request = scheduler.dequeue(thread_id, now)
-        assert request is not None, "backlogged tenants can never drain"
+        if request is None:
+            # The sequencer re-enqueues each tenant on dispatch, so every
+            # tenant stays backlogged; a None dequeue means the scheduler
+            # under test broke work conservation.  Raise instead of
+            # asserting -- python -O strips asserts.
+            raise SchedulerError(
+                f"{scheduler.name} returned no request with all tenants "
+                "backlogged (work-conservation violation)"
+            )
         end = now + request.cost  # thread rate is 1 unit/second
         slots.append(
             ScheduledSlot(

@@ -332,7 +332,10 @@ def _run_pool(
 
     def submit(index: int, attempt: int) -> None:
         deadline = (
-            time.monotonic() + timeout if timeout is not None else None
+            # Worker timeouts are real elapsed time, not simulated time.
+            time.monotonic() + timeout  # repro: ignore[RPR001]
+            if timeout is not None
+            else None
         )
         inflight[executor.submit(_run_cell, cells[index])] = (
             index, attempt, deadline,
@@ -345,7 +348,9 @@ def _run_pool(
             wait_for = None
             if timeout is not None:
                 deadlines = [d for (_, _, d) in inflight.values() if d is not None]
-                wait_for = max(0.0, min(deadlines) - time.monotonic())
+                wait_for = max(
+                    0.0, min(deadlines) - time.monotonic()  # repro: ignore[RPR001]
+                )
             done, _ = wait(
                 inflight, timeout=wait_for, return_when=FIRST_COMPLETED
             )
@@ -359,7 +364,7 @@ def _run_pool(
                 else:
                     fail(index, attempt, exc)
             if timeout is not None:
-                now = time.monotonic()
+                now = time.monotonic()  # repro: ignore[RPR001]
                 for future in list(inflight):
                     index, attempt, deadline = inflight[future]
                     if deadline is not None and now >= deadline:

@@ -96,7 +96,16 @@ class Simulation:
         try:
             while self._queue and not self._stopped:
                 next_time = self._queue.peek_time()
-                assert next_time is not None
+                if next_time is None:
+                    # `while self._queue` guarantees a live event; a None
+                    # peek means the queue's live-count drifted from its
+                    # heap contents.  Raise (never assert: python -O
+                    # would strip the check) -- this is state corruption,
+                    # not a schedulable condition.
+                    raise SimulationError(
+                        "event queue reported pending events but none "
+                        "could be peeked (live-count/heap divergence)"
+                    )
                 if until is not None and next_time > until:
                     break
                 if max_events is not None and self._events_processed >= max_events:
@@ -106,7 +115,11 @@ class Simulation:
                 fn, args = handle.fn, handle.args
                 handle.cancel()  # mark consumed; frees references
                 self._events_processed += 1
-                assert fn is not None
+                if fn is None:
+                    raise SimulationError(
+                        f"popped event at t={handle.time} was already "
+                        "consumed (callback reference cleared)"
+                    )
                 fn(*args)
             if until is not None and self._now < until and not self._stopped:
                 self._now = until

@@ -22,12 +22,15 @@ order is irrelevant.  The order is configurable for ablations.
 
 from __future__ import annotations
 
-from typing import Callable, List, Literal, Optional
+from typing import TYPE_CHECKING, Callable, List, Literal, Optional
 
 from ..core.request import Request
 from ..core.scheduler import Scheduler
 from ..errors import ConfigurationError, SimulationError
 from .clock import Simulation
+
+if TYPE_CHECKING:  # import cycle: repro.obs instruments the simulator
+    from ..obs.tracer import Tracer
 
 __all__ = ["ThreadPoolServer", "Worker"]
 
@@ -141,7 +144,7 @@ class ThreadPoolServer:
         self._refresh_scheduled = False
         #: Attached :class:`repro.obs.Tracer` or ``None``; same
         #: single-attribute-check overhead contract as the schedulers.
-        self._trace = None
+        self._trace: Optional["Tracer"] = None
         self._submit_listeners: List[RequestListener] = []
         self._dispatch_listeners: List[RequestListener] = []
         self._complete_listeners: List[RequestListener] = []
@@ -162,7 +165,7 @@ class ThreadPoolServer:
         """Register a callback fired when a request finishes."""
         self._complete_listeners.append(fn)
 
-    def attach_tracer(self, tracer) -> None:
+    def attach_tracer(self, tracer: Optional["Tracer"]) -> None:
         """Attach a :class:`repro.obs.Tracer`; the server contributes
         refresh-charging counters and a busy-worker gauge to the
         tracer's registry (the decision *events* come from the

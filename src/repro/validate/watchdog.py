@@ -47,12 +47,15 @@ calls; it is strictly opt-in and never on the benchmarked hot path.
 from __future__ import annotations
 
 import os
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from ..core.request import Request, RequestPhase
 from ..core.scheduler import Scheduler
 from ..core.vt_base import VirtualTimeScheduler
 from ..errors import InvariantViolation
+
+if TYPE_CHECKING:  # import cycle: repro.obs instruments core schedulers
+    from ..obs.tracer import Tracer
 
 __all__ = ["ValidatingScheduler", "env_validate"]
 
@@ -102,7 +105,7 @@ class ValidatingScheduler:
         self._last_vt = float("-inf")
         self._ops = 0
         self.violations: List[Dict[str, Any]] = []
-        self._trace = None
+        self._trace: Optional["Tracer"] = None
 
     # -- proxy plumbing ---------------------------------------------------------
 
@@ -113,7 +116,7 @@ class ValidatingScheduler:
     def __getattr__(self, name: str) -> Any:
         return getattr(self._inner, name)
 
-    def attach_tracer(self, tracer) -> None:
+    def attach_tracer(self, tracer: Optional["Tracer"]) -> None:
         self._inner.attach_tracer(tracer)
         self._trace = tracer if tracer is not None and tracer.enabled else None
 

@@ -1,0 +1,23 @@
+"""Two non-conforming schedulers for RPR020."""
+
+from .scheduler import Scheduler
+
+
+class NoDequeueScheduler(Scheduler):  # line 6: dequeue stays abstract
+    name = "no-dequeue"
+
+    def enqueue(self, request, now):
+        self.backlog.append(request)
+
+
+class StubCancelScheduler(Scheduler):  # line 13: cancel degraded to a stub
+    name = "stub-cancel"
+
+    def enqueue(self, request, now):
+        self.backlog.append(request)
+
+    def dequeue(self, thread_id, now):
+        return None
+
+    def cancel(self, request, now):
+        raise NotImplementedError

@@ -1,0 +1,13 @@
+"""A conforming scheduler: concrete enqueue + dequeue."""
+
+from .scheduler import Scheduler
+
+
+class GoodScheduler(Scheduler):
+    name = "good"
+
+    def enqueue(self, request, now):
+        self.backlog.append(request)
+
+    def dequeue(self, thread_id, now):
+        return self.backlog.pop(0) if self.backlog else None

@@ -1,0 +1,14 @@
+"""The registration site RPR020 reads."""
+
+from .bad import NoDequeueScheduler, StubCancelScheduler
+from .good import GoodScheduler
+
+SCHEDULER_CLASSES = {  # line 6
+    cls.name: cls
+    for cls in (
+        GoodScheduler,
+        NoDequeueScheduler,
+        StubCancelScheduler,
+        GhostScheduler,  # noqa: F821 -- deliberately undefined anywhere
+    )
+}

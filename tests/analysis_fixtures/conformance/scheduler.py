@@ -1,0 +1,26 @@
+"""RPR020 fixture: a miniature scheduler class hierarchy."""
+
+from abc import ABC, abstractmethod
+
+
+class Scheduler(ABC):
+    """Abstract surface: enqueue/dequeue abstract, rest concrete."""
+
+    name = "scheduler"
+
+    @abstractmethod
+    def enqueue(self, request, now):
+        """Admit a request."""
+
+    @abstractmethod
+    def dequeue(self, thread_id, now):
+        """Pick the next request."""
+
+    def refresh(self, request, usage, now):
+        request.reported_usage += usage
+
+    def complete(self, request, usage, now):
+        request.reported_usage += usage
+
+    def cancel(self, request, now):
+        return True

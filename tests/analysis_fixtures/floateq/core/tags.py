@@ -1,0 +1,18 @@
+"""RPR010 fixture: float equality inside a `core` package."""
+
+
+def compare(a: object, b: object) -> bool:
+    return a.start_tag == b.finish_tag  # line 5: tag equality
+
+
+def literal(x: float) -> bool:
+    return x != 0.0  # line 9: != against a float literal
+
+
+def division(n: int, d: int, total: float) -> bool:
+    return n / d == total  # line 13: true division is float-valued
+
+
+def fine(a: object, b: object) -> bool:
+    # Ordering comparisons and integer equality are allowed.
+    return a.start_tag < b.finish_tag or a.seqno == b.seqno

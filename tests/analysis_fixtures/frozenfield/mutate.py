@@ -1,0 +1,23 @@
+"""RPR011 fixture: reassigning frozen Request identity fields."""
+
+
+def rewrite_cost(request: object) -> None:
+    request.cost = 5.0  # line 5: plain assign
+
+
+def bump_seqno(req: object) -> None:
+    req.seqno += 1  # line 9: augmented assign
+
+
+def retag_head(state: object) -> None:
+    state.queue[0].tenant_id = "evil"  # line 13: queue-head store
+
+
+def annotated(old_request: object) -> None:
+    old_request.api: str = "other"  # line 17: annotated assign
+
+
+def fine(request: object, now: float) -> None:
+    # Lifecycle fields are intentionally mutable.
+    request.dispatch_time = now
+    request.reported_usage += 0.5

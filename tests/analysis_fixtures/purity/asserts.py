@@ -1,0 +1,12 @@
+"""RPR030 fixture: runtime asserts (stripped by `python -O`)."""
+
+
+def checked(x: int) -> int:
+    assert x > 0, "positive only"  # line 5
+    return x
+
+
+def fine(x: int) -> int:
+    if x <= 0:
+        raise ValueError("positive only")
+    return x

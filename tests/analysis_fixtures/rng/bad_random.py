@@ -1,0 +1,24 @@
+"""RPR002 fixture: stdlib random + numpy global RNG (never imported)."""
+
+import random  # line 3: stdlib random import
+from random import choice  # line 4: from-import
+
+import numpy as np
+
+
+def draw() -> float:
+    return np.random.random()  # line 10: module-level global-state fn
+
+
+def shuffle(items: list) -> None:
+    np.random.shuffle(items)  # line 14: another global-state fn
+
+
+def construct() -> object:
+    return np.random.default_rng(42)  # line 18: ctor outside simulator/rng
+
+
+def fine(rng: "np.random.Generator") -> float:
+    # Drawing from an injected Generator is the sanctioned pattern;
+    # the annotation above is a class reference, not a call.
+    return float(rng.random())

@@ -1,0 +1,24 @@
+"""RPR012 fixture: iteration over set-typed expressions."""
+
+
+def over_literal() -> None:
+    for tenant in {"a", "b", "c"}:  # line 5: set literal
+        print(tenant)
+
+
+def over_call(names: list) -> list:
+    return [n for n in set(names)]  # line 10: set() in comprehension
+
+
+def over_frozenset(names: list) -> None:
+    for n in frozenset(names):  # line 14: frozenset() call
+        print(n)
+
+
+def fine(names: list, table: dict) -> None:
+    # sorted() materializes a deterministic order; dicts iterate in
+    # insertion order by language guarantee.
+    for n in sorted(set(names)):
+        print(n)
+    for k in table:
+        print(k)

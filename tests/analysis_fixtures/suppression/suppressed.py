@@ -1,0 +1,18 @@
+"""Suppression-mechanics fixture for RPR000."""
+
+
+def silenced(x: int) -> int:
+    assert x > 0  # repro: ignore[RPR030] -- consumed suppression
+    return x
+
+
+def unused(x: int) -> int:
+    return x + 1  # repro: ignore[RPR030] -- silences nothing
+
+
+def malformed(x: int) -> int:
+    return x + 2  # repro: ignore -- no code list
+
+
+def unknown(x: int) -> int:
+    return x + 3  # repro: ignore[RPR999] -- no such rule

@@ -1,0 +1,45 @@
+"""RPR021 fixture: hook overrides below VirtualTimeScheduler."""
+
+
+class VirtualTimeScheduler:
+    """Instrumented framework root (by name, as in repro.core)."""
+
+    def enqueue(self, request, now):
+        trace = self._trace
+        if trace is not None:
+            trace.enqueue(now)
+
+    def complete(self, request, usage, now):
+        trace = self._trace
+        if trace is not None:
+            trace.complete(now)
+
+    def cancel(self, request, now):
+        trace = self._trace
+        if trace is not None:
+            trace.cancel(now)
+        return True
+
+
+class SilentScheduler(VirtualTimeScheduler):
+    def complete(self, request, usage, now):  # line 25: drops the event
+        request.reported_usage += usage
+
+
+class PoliteScheduler(VirtualTimeScheduler):
+    def complete(self, request, usage, now):
+        # Defers to the instrumented base implementation: compliant.
+        super().complete(request, usage, now)
+
+    def cancel(self, request, now):
+        # Emits through the guarded idiom itself: compliant.
+        trace = self._trace
+        if trace is not None:
+            trace.cancel(now)
+        return True
+
+
+class Unrelated:
+    def complete(self, request, usage, now):
+        # Not in the VirtualTimeScheduler family: rule must stay silent.
+        request.reported_usage += usage

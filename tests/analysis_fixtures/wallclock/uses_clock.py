@@ -1,0 +1,26 @@
+"""RPR001 fixture: every flavour of wall-clock read (never imported)."""
+
+import time
+import time as t
+from datetime import datetime, date
+
+
+def direct() -> float:
+    return time.time()  # line 9: plain module call
+
+
+def aliased() -> float:
+    return t.perf_counter()  # line 13: through an import alias
+
+
+def from_import() -> object:
+    return datetime.now()  # line 17: from-imported class method
+
+
+def date_today() -> object:
+    return date.today()  # line 21: date.today suffix match
+
+
+def fine() -> float:
+    # Arithmetic on simulated timestamps is not a clock read.
+    return 1.0 + 2.0
