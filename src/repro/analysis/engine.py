@@ -112,10 +112,16 @@ class Analyzer:
     ) -> None:
         self._select = set(select) if select is not None else None
         self._ignore = set(ignore) if ignore is not None else set()
+        catalogue = list(rules if rules is not None else ALL_RULES)
+        #: every code some catalogue rule (or pseudo-rule) claims,
+        #: regardless of --select/--ignore filtering -- so suppressions
+        #: naming a merely-disabled rule are distinguishable from typos.
+        self._catalogue_codes: Set[str] = {cls.code for cls in catalogue} | {
+            UNUSED_SUPPRESSION_CODE,
+            PARSE_ERROR_CODE,
+        }
         self._rules: List[Rule] = [
-            cls()
-            for cls in (rules if rules is not None else ALL_RULES)
-            if self._enabled(cls.code)
+            cls() for cls in catalogue if self._enabled(cls.code)
         ]
         #: node type -> rules wanting it (built once; isinstance handles
         #: subclass declarations like a rule asking for ast.stmt).
@@ -245,11 +251,12 @@ class Analyzer:
                 continue
             for code in sup.unused_codes:
                 if code not in known:
-                    # A code for a rule that is not running (filtered by
-                    # --select/--ignore, or unknown).  Only report codes
-                    # that no rule in the full catalogue claims;
-                    # filtered-out rules may legitimately own it.
-                    if self._select is not None or code in self._ignore:
+                    # A code no *enabled* rule claims.  If some catalogue
+                    # rule owns it, it is merely filtered out by
+                    # --select/--ignore and the suppression may be doing
+                    # real work -- skip.  A code outside the catalogue is
+                    # a typo and stays reportable under any filtering.
+                    if code in self._catalogue_codes:
                         continue
                     message = f"suppression names unknown rule code {code}"
                 else:

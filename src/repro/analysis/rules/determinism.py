@@ -117,7 +117,9 @@ class WallClockRule(_ImportTrackingRule):
         target = self._resolve(node.func)
         if target is None:
             return
-        if target in _WALL_CLOCK_CALLS or target.endswith(_WALL_CLOCK_SUFFIXES):
+        if target in _WALL_CLOCK_CALLS or any(
+            target == s or target.endswith("." + s) for s in _WALL_CLOCK_SUFFIXES
+        ):
             ctx.report(
                 self,
                 node,

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
+from ..errors import SchedulerError
 from .scheduler import TenantState
 from .vt_base import VirtualTimeScheduler
 

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
+from ..errors import SchedulerError
 from ..estimation.base import CostEstimator
 from ..estimation.pessimistic import PessimisticEstimator
 from .scheduler import MIN_COST, TenantState

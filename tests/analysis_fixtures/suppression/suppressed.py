@@ -16,3 +16,7 @@ def malformed(x: int) -> int:
 
 def unknown(x: int) -> int:
     return x + 3  # repro: ignore[RPR999] -- no such rule
+
+
+def filtered(x: int) -> int:
+    return x + 4  # repro: ignore[RPR001] -- catalogue rule, off under select

@@ -24,3 +24,10 @@ def date_today() -> object:
 def fine() -> float:
     # Arithmetic on simulated timestamps is not a clock read.
     return 1.0 + 2.0
+
+
+def lookalike(update: object, candidate: object) -> None:
+    # Receivers whose names merely *end with* a clock suffix are not
+    # clock reads: the suffix match is anchored on a dotted boundary.
+    update.today()  # type: ignore[attr-defined]
+    candidate.today()  # type: ignore[attr-defined]

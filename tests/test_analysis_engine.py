@@ -37,17 +37,19 @@ def test_real_tree_is_clean() -> None:
 def test_suppression_consumes_matching_finding_and_reports_stale_ones() -> None:
     result = Analyzer().run([os.path.join(FIXTURES, "suppression")])
     triples = sorted((f.code, f.line) for f in result.findings)
-    # Line 5's assert is silenced (no RPR030 anywhere); lines 10/14/18
-    # carry a stale, malformed, and unknown-code suppression.
+    # Line 5's assert is silenced (no RPR030 anywhere); lines 10/14/18/22
+    # carry a stale, malformed, unknown-code, and stale suppression.
     assert triples == [
         (UNUSED_SUPPRESSION_CODE, 10),
         (UNUSED_SUPPRESSION_CODE, 14),
         (UNUSED_SUPPRESSION_CODE, 18),
+        (UNUSED_SUPPRESSION_CODE, 22),
     ]
     by_line = {f.line: f.message for f in result.findings}
     assert "unused suppression" in by_line[10]
     assert "malformed" in by_line[14]
     assert "unknown rule code RPR999" in by_line[18]
+    assert "unused suppression" in by_line[22]
 
 
 def test_suppression_index_ignores_strings_and_matches_codes() -> None:
@@ -63,17 +65,20 @@ def test_suppression_index_ignores_strings_and_matches_codes() -> None:
     assert not index.suppressed(1, "RPR001")
 
 
-def test_select_skips_unknown_code_accounting() -> None:
-    # Under --select RPR030 the suppression fixture's RPR999 comment may
-    # belong to a filtered-out rule, so only the genuinely-unused RPR030
-    # suppression on line 10 is reported.
+def test_select_distinguishes_filtered_codes_from_unknown_ones() -> None:
+    # Under --select RPR030 the RPR001 suppression on line 22 belongs to
+    # a filtered-out catalogue rule and is skipped, but RPR999 on line 18
+    # is claimed by no rule at all, so it stays reported as unknown.
     result = Analyzer(select={"RPR030", UNUSED_SUPPRESSION_CODE}).run(
         [os.path.join(FIXTURES, "suppression")]
     )
     assert sorted((f.code, f.line) for f in result.findings) == [
         (UNUSED_SUPPRESSION_CODE, 10),
         (UNUSED_SUPPRESSION_CODE, 14),
+        (UNUSED_SUPPRESSION_CODE, 18),
     ]
+    by_line = {f.line: f.message for f in result.findings}
+    assert "unknown rule code RPR999" in by_line[18]
 
 
 def test_ignore_disables_a_rule() -> None:
