@@ -36,11 +36,17 @@ class ServiceSeries:
     times: np.ndarray
     actual: np.ndarray  # W_sched(0, t), cost units
     gps: np.ndarray     # W_GPS(0, t), cost units
+    #: Cumulative service already delivered when the first sample was
+    #: taken (the last pre-warmup sample).  0.0 when the series starts
+    #: at t=0; without it, ``service_rate``'s first post-warmup entry
+    #: would read as the entire pre-warmup cumulative service -- a
+    #: spurious spike in the Figure 8a/9a/11a series.
+    baseline: float = 0.0
 
     def service_rate(self) -> np.ndarray:
         """Work done per sampling interval (cost units per interval),
         the quantity plotted in Figures 8a/9a/11a."""
-        return np.diff(self.actual, prepend=0.0)
+        return np.diff(self.actual, prepend=self.baseline)
 
     def lag_units(self) -> np.ndarray:
         """Service lag in cost units; positive = ahead of GPS."""
@@ -78,6 +84,14 @@ class ServiceTracker:
         self._times: List[float] = []
         self._actual: Dict[str, List[float]] = {}
         self._gps: Dict[str, List[float]] = {}
+        self._baselines: Dict[str, float] = {}
+
+    def set_baselines(self, actual: Dict[str, float]) -> None:
+        """Record the cumulative service delivered *before* the first
+        observed sample (warmup runs): the collector passes the last
+        pre-warmup sample here so ``service_rate`` differences the first
+        post-warmup sample against it instead of against zero."""
+        self._baselines = dict(actual)
 
     def observe(
         self, time: float, actual: Dict[str, float], gps: Dict[str, float]
@@ -117,4 +131,5 @@ class ServiceTracker:
             times=times,
             actual=column(self._actual),
             gps=column(self._gps),
+            baseline=self._baselines.get(tenant_id, 0.0),
         )

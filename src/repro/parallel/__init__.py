@@ -31,11 +31,13 @@ from .engine import (
     execution_context,
     run_cells,
 )
+from .shard import TimeShardSpec, run_time_sharded, slice_trace
 from .spec import RunSpec, canonicalize
 
 __all__ = [
     "RunSpec",
     "RunCache",
+    "TimeShardSpec",
     "canonicalize",
     "source_digest",
     "CellFailure",
@@ -43,4 +45,6 @@ __all__ = [
     "execution_context",
     "current_execution",
     "run_cells",
+    "run_time_sharded",
+    "slice_trace",
 ]

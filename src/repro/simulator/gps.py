@@ -138,7 +138,15 @@ class GPSReference:
     def arrive(
         self, flow_id: str, cost: float, now: float, weight: float = 1.0
     ) -> None:
-        """Register the arrival of ``cost`` units of work for a flow."""
+        """Register the arrival of ``cost`` units of work for a flow.
+
+        A flow's weight is fixed at its first arrival: re-arriving with
+        a different ``weight`` raises
+        :class:`~repro.errors.ConfigurationError` instead of silently
+        keeping the old weight -- a tenant whose weight changed mid-run
+        would otherwise diverge from the fair-share reference with no
+        signal.
+        """
         if cost < 0:
             raise ConfigurationError(f"cost must be >= 0, got {cost}")
         self.advance(now)
@@ -146,6 +154,12 @@ class GPSReference:
         if flow is None:
             flow = _Flow(flow_id, weight)
             self._flows[flow_id] = flow
+        elif weight != flow.weight:
+            raise ConfigurationError(
+                f"flow {flow_id!r} re-arrived with weight {weight}, but its "
+                f"weight is {flow.weight}; GPS flow weights are fixed at "
+                "first arrival (mid-run weight changes are unsupported)"
+            )
         flow.arrived += cost
         if cost == 0:
             return

@@ -96,6 +96,22 @@ class TestValidation:
         gps.arrive("A", 0.0, now=0.0)
         assert gps.active_weight == 0.0
 
+    def test_rearrival_weight_mismatch_rejected(self):
+        # A flow's weight is fixed at first arrival: silently keeping
+        # the old weight would diverge from the fair-share reference
+        # with no signal.
+        gps = GPSReference(1.0)
+        gps.arrive("A", 1.0, now=0.0, weight=2.0)
+        with pytest.raises(ConfigurationError, match="re-arrived with weight"):
+            gps.arrive("A", 1.0, now=0.5, weight=3.0)
+
+    def test_rearrival_same_weight_allowed(self):
+        gps = GPSReference(1.0)
+        gps.arrive("A", 1.0, now=0.0, weight=2.0)
+        gps.arrive("A", 1.0, now=0.5, weight=2.0)
+        gps.advance(10.0)
+        assert gps.service("A") == pytest.approx(2.0)
+
     def test_time_must_not_regress(self):
         gps = GPSReference(1.0)
         gps.advance(5.0)

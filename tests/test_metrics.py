@@ -241,3 +241,74 @@ class TestCollector:
         )
         with pytest.raises(ValueError):
             MetricsCollector(server, sample_interval=0.0)
+
+    def test_service_rate_has_no_warmup_spike(self):
+        # Regression: with a warmup, the first post-warmup sample used to
+        # difference against 0, so the first service_rate entry was the
+        # entire pre-warmup cumulative service.  The retained pre-warmup
+        # baseline keeps every entry a one-interval quantity.
+        result = self._warmup_run(warmup=1.0)
+        rate = result.service_series("A").service_rate()
+        # One 0.1 s interval at a 10 units/s thread can deliver at most
+        # ~1 unit of service (plus boundary slop); the old bug produced
+        # a first entry near the ~5 units accumulated during warmup.
+        assert rate[0] <= 10.0 * 0.1 + 0.5
+        assert np.max(rate) <= 10.0 * 0.1 + 0.5
+
+    def test_warmup_on_sample_boundary_keeps_boundary_sample(self):
+        # warmup exactly on the sampling grid: the t == warmup sample is
+        # post-warmup (t >= warmup), and the sample just before it
+        # becomes the baseline.
+        result = self._warmup_run(warmup=0.5)
+        times = result.service_series("A").times
+        assert times.min() == pytest.approx(0.5)
+        result_past = self._warmup_run(warmup=0.55)
+        assert result_past.service_series("A").times.min() == pytest.approx(0.6)
+
+
+class TestOccupancyBoundaryBins:
+    def _metrics(self, dispatch_log):
+        from repro.metrics.collector import RunMetrics
+
+        return RunMetrics(
+            tracker=ServiceTracker(),
+            latencies={},
+            dispatch_log=dispatch_log,
+            gini_times=np.asarray([]),
+            gini_values=np.asarray([]),
+            sample_interval=0.1,
+        )
+
+    def test_shared_bin_goes_to_larger_overlap(self):
+        # Regression: the record iterated later used to overwrite shared
+        # boundary bins unconditionally.  Bin [1, 2): the first record
+        # covers 0.6 of it, the second only 0.4 -- the first must win.
+        from repro.metrics.collector import DispatchRecord
+
+        log = [
+            DispatchRecord(0, "A", "x", 5.0, start=0.0, end=1.6),
+            DispatchRecord(0, "B", "y", 7.0, start=1.6, end=3.0),
+        ]
+        grid = self._metrics(log).occupancy_matrix(0.0, 3.0, 1.0, 1)
+        assert grid[0].tolist() == [5.0, 5.0, 7.0]
+
+    def test_shared_bin_tie_goes_to_later_start(self):
+        from repro.metrics.collector import DispatchRecord
+
+        log = [
+            DispatchRecord(0, "A", "x", 5.0, start=0.0, end=1.5),
+            DispatchRecord(0, "B", "y", 7.0, start=1.5, end=3.0),
+        ]
+        grid = self._metrics(log).occupancy_matrix(0.0, 3.0, 1.0, 1)
+        assert grid[0].tolist() == [5.0, 7.0, 7.0]
+
+    def test_full_bins_unaffected(self):
+        from repro.metrics.collector import DispatchRecord
+
+        log = [
+            DispatchRecord(0, "A", "x", 2.0, start=0.0, end=2.0),
+            DispatchRecord(1, "B", "y", 3.0, start=0.0, end=1.0),
+        ]
+        grid = self._metrics(log).occupancy_matrix(0.0, 2.0, 1.0, 2)
+        assert grid[0].tolist() == [2.0, 2.0]
+        assert grid[1].tolist() == [3.0, 0.0]
