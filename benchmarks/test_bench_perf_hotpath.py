@@ -33,7 +33,12 @@ import os
 import statistics
 
 from repro.obs import write_manifest
-from repro.perf import format_results, run_hotpath_suite, write_results
+from repro.perf import (
+    format_results,
+    measure_observability_overhead,
+    run_hotpath_suite,
+    write_results,
+)
 
 from conftest import RESULTS_DIR, emit, once, read_bench_manifest
 
@@ -77,6 +82,14 @@ def _overhead_vs_baseline(baseline, payload):
     return statistics.median(ratios), None
 
 
+def _format_observability(section):
+    lines = [f"{'mode':<10} {'rps':>12} {'relative':>9}"]
+    for mode in ("disabled", "traced", "audited"):
+        row = section["modes"][mode]
+        lines.append(f"{mode:<10} {row['rps']:>12.1f} {row['relative']:>8.3f}x")
+    return "\n".join(lines)
+
+
 def test_bench_perf_hotpath(benchmark, capsys):
     ops_env = int(os.environ.get("REPRO_BENCH_OPS", "0"))
     baseline = _load_baseline()
@@ -85,6 +98,11 @@ def test_bench_perf_hotpath(benchmark, capsys):
         lambda: run_hotpath_suite(ops=ops_env or None),
     )
     write_results(payload, BENCH_JSON)
+    # Enabled-mode observability cost (spans-grade tracing, full --audit
+    # sink stack) vs the disabled default, on the 2DFQ hot path.
+    observability = measure_observability_overhead(
+        "2dfq", num_tenants=100, ops=ops_env or None
+    )
     # write_manifest replaces the file wholesale; carry over sections
     # other bench modules own (the parallel-engine timings).
     preserved = {
@@ -97,7 +115,11 @@ def test_bench_perf_hotpath(benchmark, capsys):
         name="scheduler-hotpath-dequeue-throughput",
         seed=payload["meta"]["seed"],
         config={k: v for k, v in payload["meta"].items() if k != "note"},
-        extra={"results_file": BENCH_JSON.name, **preserved},
+        extra={
+            "results_file": BENCH_JSON.name,
+            "observability": observability,
+            **preserved,
+        },
     )
     overhead, skip_reason = _overhead_vs_baseline(baseline, payload)
     overhead_note = (
@@ -111,6 +133,8 @@ def test_bench_perf_hotpath(benchmark, capsys):
         "BENCH: scheduler hot-path dequeue throughput",
         format_results(payload)
         + f"\n\n{overhead_note}"
+        + "\n\nobservability layers (2dfq, 100 tenants):\n"
+        + _format_observability(observability)
         + f"\nfull results -> {BENCH_JSON.relative_to(RESULTS_DIR.parent.parent)}",
     )
     rows = {(r["scheduler"], r["tenants"]): r for r in payload["results"]}
@@ -135,3 +159,9 @@ def test_bench_perf_hotpath(benchmark, capsys):
             f"disabled-tracer hot path regressed {(overhead - 1) * 100:.1f}% "
             f"vs committed baseline (budget 5%)"
         )
+    # Enabled modes are recorded, not perf-gated (wallclock variance),
+    # but the measurement itself must be sane: every mode ran, and
+    # turning observability ON cannot plausibly be faster than 2x off.
+    for mode, row in observability["modes"].items():
+        assert row["rps"] > 0, f"observability mode {mode} measured no work"
+        assert row["relative"] <= 2.0, f"implausible speedup in mode {mode}: {row}"

@@ -25,6 +25,8 @@ from ..core.registry import make_scheduler
 from ..core.scheduler import Scheduler
 from ..faults.injector import FaultInjector
 from ..metrics.collector import MetricsCollector, RunMetrics
+from ..obs.audit import FairnessAuditor
+from ..obs.flight import FlightRecorder
 from ..obs.session import current_session
 from ..obs.tracer import Tracer
 from ..validate import ValidatingScheduler, env_validate
@@ -64,6 +66,7 @@ def run_single(
     trace: Optional[Sequence[TraceRecord]] = None,
     speed: float = 1.0,
     tracer: Optional[Tracer] = None,
+    auditor: Optional[FairnessAuditor] = None,
 ) -> RunMetrics:
     """Run one scheduler over the workload and return its metrics.
 
@@ -73,6 +76,14 @@ def run_single(
     :class:`~repro.faults.injector.FaultInjector` schedules the plan's
     faults into the run.  Both are strictly additive: left off, the run
     executes exactly the unfaulted, unwatched code paths.
+
+    Observability: an attached tracer gets the simulation clock for its
+    registry timers (phase profiling in deterministic sim-time).  An
+    explicit ``auditor`` is wired as a tracer sink and collector sample
+    hook; an *audited session* (``TraceSession(audit=...)``, the CLI's
+    ``--audit``) builds one per run automatically, plus a flight
+    recorder whose dumps are exported even when a strict-mode watchdog
+    raise aborts the run.
     """
     sim = Simulation()
     inner_scheduler = make_scheduler(
@@ -109,13 +120,33 @@ def run_single(
     session = current_session() if tracer is None else None
     if session is not None:
         tracer = session.tracer(f"{config.name}--{scheduler_name}")
+    flight: Optional[FlightRecorder] = None
     if tracer is not None and tracer.enabled:
+        # Registry timers report in deterministic sim-time while attached
+        # to a run (ISSUE satellite: injectable clock).
+        tracer.registry.set_clock(lambda: sim.now)
         scheduler.attach_tracer(tracer)
         estimator = getattr(scheduler, "estimator", None)
         if estimator is not None:
             estimator.attach_tracer(tracer)
         server.attach_tracer(tracer)
         collector.attach_tracer(tracer)
+        if session is not None:
+            flight = FlightRecorder(capacity=session.flight_events)
+            tracer.add_sink(flight.on_event)
+            if auditor is None and session.audit is not None:
+                audit_config = session.audit
+                if audit_config.capacity is None:
+                    audit_config = dataclasses.replace(
+                        audit_config, capacity=config.capacity
+                    )
+                auditor = FairnessAuditor(audit_config, tracer)
+        if auditor is not None:
+            auditor.attach_tracer(tracer)
+            tracer.add_sink(auditor.on_event)
+            collector.attach_auditor(auditor)
+    else:
+        auditor = None  # nothing feeds a sink without an enabled tracer
     attach_specs(
         server,
         specs,
@@ -124,14 +155,43 @@ def run_single(
         speed=speed,
         trace=trace,
     )
-    sim.run(until=config.duration)
-    metrics = collector.result()
-    if session is not None:
+
+    def _session_extra() -> Dict[str, Any]:
         extra: Dict[str, Any] = {}
         if injector is not None:
             extra["faults"] = injector.counts
         if watchdog is not None:
             extra["validation"] = watchdog.summary()
+        if auditor is not None:
+            extra["audit"] = {
+                "trips": len(auditor.trips),
+                "lag": auditor.ever_tripped("lag"),
+                "bursty": auditor.ever_tripped("bursty"),
+            }
+        return extra
+
+    try:
+        sim.run(until=config.duration)
+    except Exception as exc:
+        if session is not None:
+            # Export what the run produced before it died -- most
+            # importantly the flight-recorder dump triggered by the
+            # watchdog's invariant event (emitted before the raise).
+            extra = _session_extra()
+            extra["aborted"] = {"type": type(exc).__name__, "message": str(exc)}
+            session.export_run(
+                tracer,
+                seed=config.seed,
+                config=dataclasses.asdict(config),
+                scheduler=_scheduler_manifest(inner_scheduler),
+                extra=extra,
+                auditor=auditor,
+                flight=flight,
+            )
+        raise
+    metrics = collector.result()
+    if session is not None:
+        extra = _session_extra()
         session.export_run(
             tracer,
             dispatch_log=metrics.dispatch_log,
@@ -139,6 +199,8 @@ def run_single(
             config=dataclasses.asdict(config),
             scheduler=_scheduler_manifest(inner_scheduler),
             extra=extra or None,
+            auditor=auditor,
+            flight=flight,
         )
     return metrics
 

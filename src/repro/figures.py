@@ -24,6 +24,15 @@ and a ``manifest.json`` with the seed, config, and package provenance::
 
     python -m repro.figures fig06 --trace traces/
 
+``--audit DIR`` is ``--trace`` plus the online observability layer
+(DESIGN.md §14): every run also gets the streaming fairness auditor
+(service lag vs GPS, bursty-allocation detection, estimator drift) and
+a flight recorder, exporting ``audit_report.json`` and a Prometheus
+``metrics.prom`` snapshot per run (plus ``flight_recorder.json`` when a
+fault or invariant violation fired)::
+
+    python -m repro.figures fig08 --duration 1 --audit audit-run/
+
 ``--faults PLAN.json`` injects a :mod:`repro.faults` fault plan into
 every simulated run behind the requested figures, and ``--validate``
 wraps every run's scheduler in the :mod:`repro.validate` invariant
@@ -48,6 +57,7 @@ from typing import Callable, Dict
 
 from .experiments.config import ExperimentConfig
 from .faults.plan import FaultPlan
+from .obs.audit import AuditConfig
 from .obs.session import trace_session
 from .parallel import RunCache, execution_context
 
@@ -262,6 +272,13 @@ def main(argv=None) -> int:
         "manifest.json) under DIR; requires --jobs 1",
     )
     parser.add_argument(
+        "--audit", metavar="DIR", default=None,
+        help="like --trace, plus the online fairness auditor, a "
+        "Prometheus metrics snapshot and a flight recorder per run "
+        "(audit_report.json, metrics.prom, flight_recorder.json); "
+        "requires --jobs 1",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for the independent runs behind each "
         "figure (default 1 = serial; output is identical for any N)",
@@ -299,22 +316,29 @@ def main(argv=None) -> int:
             parser.error(f"unknown figure {fig!r}; try 'list'")
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
-    if args.trace and args.jobs > 1:
+    if args.trace and args.audit:
         parser.error(
-            "--trace requires --jobs 1: tracing is process-global and "
-            "pool workers run with tracing disabled (DESIGN.md §10)"
+            "--audit already implies --trace; pass exactly one of the two"
+        )
+    trace_dir = args.audit or args.trace
+    if trace_dir and args.jobs > 1:
+        parser.error(
+            "--trace/--audit require --jobs 1: tracing is process-global "
+            "and pool workers run with tracing disabled (DESIGN.md §10)"
         )
     cache = RunCache(args.cache) if args.cache else None
     context = (
-        trace_session(args.trace) if args.trace else contextlib.nullcontext()
+        trace_session(trace_dir, audit=AuditConfig() if args.audit else None)
+        if trace_dir
+        else contextlib.nullcontext()
     )
     with context as session:
         with execution_context(jobs=args.jobs, cache=cache):
             for fig in args.figures:
                 print(f"\n===== {fig} =====")
                 print(FIGURES[fig](args))
-    if args.trace:
-        print(f"\ntrace artifacts: {len(session.runs)} run(s) under {args.trace}")
+    if trace_dir:
+        print(f"\ntrace artifacts: {len(session.runs)} run(s) under {trace_dir}")
     if cache is not None:
         print(
             f"\nrun cache: {cache.hits} hit(s), {cache.misses} miss(es), "

@@ -138,6 +138,7 @@ class MetricsCollector:
         self._sample_index = 0
         self._observed_samples = 0
         self._trace = None
+        self._auditor = None
         self._partial: Optional[MetricsPartial] = None
         if mode == "streaming":
             self._partial = MetricsPartial(
@@ -167,6 +168,13 @@ class MetricsCollector:
         self._trace = (
             tracer if tracer is not None and tracer.enabled else None
         )
+
+    def attach_auditor(self, auditor) -> None:
+        """Attach a :class:`repro.obs.audit.FairnessAuditor`; it receives
+        every periodic per-tenant (actual, GPS) service sample --
+        warmup-unfiltered, in both exact and streaming modes -- through
+        ``on_sample``."""
+        self._auditor = auditor
 
     # -- listeners ------------------------------------------------------------
 
@@ -219,6 +227,8 @@ class MetricsCollector:
             actual[tenant] = self._server.service_received(tenant)
             if self._gps is not None:
                 gps[tenant] = self._gps.service(tenant)
+        if self._auditor is not None:
+            self._auditor.on_sample(now, actual, gps)
         if now >= self._warmup:
             if self._observed_samples == 0 and self._previous_service:
                 # First post-warmup sample: the previous (pre-warmup)

@@ -17,6 +17,19 @@ makes those decisions observable without perturbing them:
   experiment runner and the ``--trace`` CLI flag use to write all three
   artifacts per run.
 
+On top of the raw event stream sit the derivation layers:
+
+* spans (:mod:`repro.obs.spans`) -- per-request lifecycle spans with an
+  exact wait-time decomposition (head-of-line blocking attribution);
+* the online fairness auditor (:mod:`repro.obs.audit`) -- streaming
+  lag / bursty-allocation / estimator-drift monitors emitting ``audit``
+  events;
+* the exposition layer -- a Prometheus text-format exporter
+  (:mod:`repro.obs.prometheus`) and a bounded flight recorder
+  (:mod:`repro.obs.flight`) that dumps the last K events whenever a
+  fault or invariant violation fires.  The figures CLI's ``--audit DIR``
+  enables all of them per run.
+
 Quickstart::
 
     from repro.obs import Tracer
@@ -31,6 +44,7 @@ Quickstart::
 or, end to end: ``python -m repro.figures fig06 --trace traces/``.
 """
 
+from .audit import AuditConfig, FairnessAuditor
 from .events import EVENT_KINDS, TraceEvent
 from .exporters import (
     build_manifest,
@@ -39,8 +53,11 @@ from .exporters import (
     write_events_jsonl,
     write_manifest,
 )
-from .registry import Counter, Gauge, MetricsRegistry, Timer
+from .flight import FlightRecorder
+from .prometheus import prometheus_text, write_prometheus
+from .registry import HOST_CLOCK, ClockFn, Counter, Gauge, MetricsRegistry, Timer
 from .session import TraceSession, clear_session, current_session, trace_session
+from .spans import BlockingInterval, RequestSpan, SpanSet, build_spans, spans_from_jsonl
 from .tracer import Tracer
 
 __all__ = [
@@ -51,6 +68,8 @@ __all__ = [
     "Gauge",
     "Timer",
     "MetricsRegistry",
+    "ClockFn",
+    "HOST_CLOCK",
     "TraceSession",
     "trace_session",
     "current_session",
@@ -60,4 +79,14 @@ __all__ = [
     "write_chrome_trace",
     "write_events_jsonl",
     "write_manifest",
+    "BlockingInterval",
+    "RequestSpan",
+    "SpanSet",
+    "build_spans",
+    "spans_from_jsonl",
+    "AuditConfig",
+    "FairnessAuditor",
+    "FlightRecorder",
+    "prometheus_text",
+    "write_prometheus",
 ]

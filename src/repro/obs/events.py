@@ -45,6 +45,11 @@ Event taxonomy (the ``kind`` field; see DESIGN.md §9):
     The runtime watchdog (:mod:`repro.validate`) observed a scheduler
     invariant violation.  Carries the invariant code and the event
     context at the moment of the check.
+``audit``
+    An online fairness monitor (:mod:`repro.obs.audit`) tripped or
+    cleared a threshold: per-tenant service lag vs the GPS reference,
+    the Fig-5/9 bursty-allocation pattern, or estimator-error drift
+    under 2DFQ^E.  ``data["monitor"]`` names the monitor.
 
 Every event also records the simulated wallclock ``t`` and the system
 virtual time ``vt`` at emission, so virtual- and wall-time views line up.
@@ -66,6 +71,7 @@ __all__ = [
     "CANCEL",
     "FAULT",
     "INVARIANT",
+    "AUDIT",
     "TraceEvent",
 ]
 
@@ -78,6 +84,7 @@ ESTIMATE = "estimate"
 CANCEL = "cancel"
 FAULT = "fault"
 INVARIANT = "invariant"
+AUDIT = "audit"
 
 #: The closed event taxonomy; exporters and tests validate against it.
 EVENT_KINDS: Tuple[str, ...] = (
@@ -90,6 +97,7 @@ EVENT_KINDS: Tuple[str, ...] = (
     CANCEL,
     FAULT,
     INVARIANT,
+    AUDIT,
 )
 
 

@@ -22,10 +22,12 @@ never imports the scheduler or metrics packages.
 
 from __future__ import annotations
 
+import functools
 import json
 import platform
 import subprocess
 import sys
+import zlib
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Union
 
@@ -39,6 +41,35 @@ __all__ = [
 
 #: Chrome trace timestamps are microseconds.
 _US = 1e6
+
+#: Event kinds rendered as Chrome-trace instant events ("ph": "i").
+_INSTANT_KINDS = ("cancel", "fault", "invariant", "audit")
+
+#: Chrome-trace reserved color names used for tenant-colored instants.
+#: The assignment is a stable hash of the tenant id, so one tenant keeps
+#: one color across runs and exporters.
+_TENANT_COLORS = (
+    "thread_state_running",
+    "thread_state_iowait",
+    "rail_response",
+    "rail_animation",
+    "rail_idle",
+    "rail_load",
+    "cq_build_running",
+    "cq_build_passed",
+    "cq_build_failed",
+    "vsync_highlight_color",
+)
+
+#: Instant events with no tenant (process-wide faults, drift audits).
+_NEUTRAL_COLOR = "generic_work"
+
+
+def _tenant_color(tenant: Optional[str]) -> str:
+    if tenant is None:
+        return _NEUTRAL_COLOR
+    digest = zlib.crc32(str(tenant).encode("utf-8"))
+    return _TENANT_COLORS[digest % len(_TENANT_COLORS)]
 
 
 # -- JSONL event stream ---------------------------------------------------------
@@ -97,7 +128,11 @@ def chrome_trace_events(
     ``dispatch_log`` becomes complete (``"ph": "X"``) slices, one
     timeline row per worker thread.  ``trace_events`` (the tracer's
     decision events, optional) contribute ``virtual_time`` and
-    ``backlog`` counter tracks sampled at every dispatch.
+    ``backlog`` counter tracks sampled at every dispatch, plus
+    process-scoped instant events (``"ph": "i"``) for the exceptional
+    kinds -- ``cancel``, ``fault``, ``invariant``, ``audit`` -- colored
+    by tenant (``cname``, stable hash of the tenant id) with the full
+    event payload in ``args``.
     """
     out: List[Dict[str, Any]] = [
         {
@@ -148,27 +183,48 @@ def chrome_trace_events(
     out.extend(slices)
     for event in trace_events:
         record = event.as_dict() if hasattr(event, "as_dict") else event
-        if record.get("kind") != "dispatch":
-            continue
-        ts = record["t"] * _US
-        out.append(
-            {
-                "name": "virtual_time",
-                "ph": "C",
-                "ts": ts,
-                "pid": 1,
-                "args": {"vt": record.get("vt", 0.0)},
+        kind = record.get("kind")
+        if kind == "dispatch":
+            ts = record["t"] * _US
+            out.append(
+                {
+                    "name": "virtual_time",
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": 1,
+                    "args": {"vt": record.get("vt", 0.0)},
+                }
+            )
+            out.append(
+                {
+                    "name": "backlog",
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": 1,
+                    "args": {"queued": record.get("backlog", 0)},
+                }
+            )
+        elif kind in _INSTANT_KINDS:
+            tenant = record.get("tenant")
+            detail = record.get("fault") or record.get("code") or record.get(
+                "monitor"
+            )
+            args = {
+                k: v for k, v in record.items() if k not in ("kind", "t")
             }
-        )
-        out.append(
-            {
-                "name": "backlog",
-                "ph": "C",
-                "ts": ts,
-                "pid": 1,
-                "args": {"queued": record.get("backlog", 0)},
-            }
-        )
+            out.append(
+                {
+                    "name": f"{kind}:{detail}" if detail else kind,
+                    "cat": kind,
+                    "ph": "i",
+                    "s": "p",
+                    "ts": record["t"] * _US,
+                    "pid": 1,
+                    "tid": 0,
+                    "cname": _tenant_color(tenant),
+                    "args": args,
+                }
+            )
     return out
 
 
@@ -196,6 +252,15 @@ def write_chrome_trace(
 # -- manifest ----------------------------------------------------------------------
 
 
+# Provenance lookups are cached per process: the git SHA and package
+# versions cannot change mid-run, and a figure suite writes one manifest
+# per scheduler run -- shelling out to git for each would dominate
+# export time.  (``functools.cache``-style memoization; the regression
+# test in tests/test_obs_exporters.py pins "one subprocess per
+# process".)
+
+
+@functools.lru_cache(maxsize=1)
 def _git_sha() -> Optional[str]:
     try:
         out = subprocess.run(
@@ -211,7 +276,8 @@ def _git_sha() -> Optional[str]:
     return sha if out.returncode == 0 and sha else None
 
 
-def _package_versions() -> Dict[str, str]:
+@functools.lru_cache(maxsize=1)
+def _cached_package_versions() -> Dict[str, str]:
     versions = {"python": platform.python_version()}
     try:
         import numpy
@@ -226,6 +292,11 @@ def _package_versions() -> Dict[str, str]:
     except ImportError:  # pragma: no cover
         pass
     return versions
+
+
+def _package_versions() -> Dict[str, str]:
+    # Copy so a caller mutating its manifest cannot poison the cache.
+    return dict(_cached_package_versions())
 
 
 def build_manifest(

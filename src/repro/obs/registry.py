@@ -11,15 +11,32 @@ so instrumentation sites never need registration boilerplate.
 
 All instruments are plain-Python and allocation-free on the hot path:
 ``Counter.inc`` is one float add, ``Gauge.set`` one store, and ``Timer``
-only calls ``perf_counter`` at scope boundaries.
+only calls its clock at scope boundaries.
+
+Timer clocks are *injectable*: a timer reads time through a zero-arg
+callable, defaulting to the host's monotonic high-resolution counter
+(:data:`HOST_CLOCK`).  The experiment runner swaps in the simulation
+clock (:meth:`MetricsRegistry.set_clock`) for traced runs, so phase
+timers report in deterministic sim-time and run manifests stay
+byte-reproducible; standalone profiling (the perf harness) keeps the
+host clock.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, Union
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple, Union
 
-__all__ = ["Counter", "Gauge", "Timer", "MetricsRegistry"]
+__all__ = ["ClockFn", "HOST_CLOCK", "Counter", "Gauge", "Timer", "MetricsRegistry"]
+
+#: A timer clock: zero-arg callable returning seconds (any epoch).
+ClockFn = Callable[[], float]
+
+#: The default timer clock -- the host's monotonic high-resolution
+#: counter, held as a function *reference*.  This is the single point
+#: where host wall-clock may enter the metrics layer, and it is never
+#: read by simulation logic: attach a sim clock for deterministic runs.
+HOST_CLOCK: ClockFn = time.perf_counter
 
 
 class Counter:
@@ -55,30 +72,31 @@ class Gauge:
 
 
 class Timer:
-    """Accumulating wall-clock timer; usable as a context manager.
+    """Accumulating interval timer; usable as a context manager.
 
     ``total`` sums every timed interval, ``count`` the number of
     intervals, ``last`` the most recent one -- enough to report both
-    aggregate and per-iteration hot-path wall-clock.
+    aggregate and per-iteration hot-path cost.  Time is read through
+    ``clock`` (default :data:`HOST_CLOCK`); attach the simulation clock
+    to report in sim-time instead.
     """
 
-    __slots__ = ("name", "total", "count", "last", "_started")
+    __slots__ = ("name", "total", "count", "last", "clock", "_started")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, clock: Optional[ClockFn] = None) -> None:
         self.name = name
         self.total = 0.0
         self.count = 0
         self.last = 0.0
+        self.clock: ClockFn = clock if clock is not None else HOST_CLOCK
         self._started = 0.0
 
     def start(self) -> "Timer":
-        # Timers measure real host wall-clock (run telemetry), the one
-        # place that is allowed to differ between runs.
-        self._started = time.perf_counter()  # repro: ignore[RPR001]
+        self._started = self.clock()
         return self
 
     def stop(self) -> float:
-        self.last = time.perf_counter() - self._started  # repro: ignore[RPR001]
+        self.last = self.clock() - self._started
         self.total += self.last
         self.count += 1
         return self.last
@@ -96,12 +114,21 @@ class Timer:
 class MetricsRegistry:
     """Lazily created named instruments with one-call snapshotting."""
 
-    __slots__ = ("_counters", "_gauges", "_timers")
+    __slots__ = ("_counters", "_gauges", "_timers", "_clock")
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Optional[ClockFn] = None) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._timers: Dict[str, Timer] = {}
+        self._clock = clock
+
+    def set_clock(self, clock: Optional[ClockFn]) -> None:
+        """Set the clock for this registry's timers -- existing and
+        future.  ``None`` restores :data:`HOST_CLOCK`."""
+        self._clock = clock
+        effective = clock if clock is not None else HOST_CLOCK
+        for timer in self._timers.values():
+            timer.clock = effective
 
     def counter(self, name: str) -> Counter:
         instrument = self._counters.get(name)
@@ -121,8 +148,19 @@ class MetricsRegistry:
         instrument = self._timers.get(name)
         if instrument is None:
             self._check_free(name, self._counters, self._gauges)
-            instrument = self._timers[name] = Timer(name)
+            instrument = self._timers[name] = Timer(name, self._clock)
         return instrument
+
+    def instruments(self) -> Iterator[Tuple[str, str, Any]]:
+        """``(type, name, instrument)`` triples in registration order --
+        the typed view exposition layers (Prometheus) need, which the
+        flat :meth:`snapshot` erases."""
+        for name, counter in self._counters.items():
+            yield ("counter", name, counter)
+        for name, gauge in self._gauges.items():
+            yield ("gauge", name, gauge)
+        for name, timer in self._timers.items():
+            yield ("timer", name, timer)
 
     @staticmethod
     def _check_free(name: str, *others: Dict) -> None:

@@ -12,6 +12,14 @@ active automatically lands on disk as::
     <dir>/<run-label>/chrome_trace.json   thread occupancy (chrome://tracing)
     <dir>/<run-label>/manifest.json       seed / config / versions / git SHA
 
+An *audited* session (``audit=AuditConfig()``, the CLI's ``--audit``)
+additionally attaches a :class:`~repro.obs.audit.FairnessAuditor` and a
+:class:`~repro.obs.flight.FlightRecorder` to every run, and exports::
+
+    <dir>/<run-label>/audit_report.json   monitor state + trip log
+    <dir>/<run-label>/metrics.prom        Prometheus text-format snapshot
+    <dir>/<run-label>/flight_recorder.json  (only when a trigger fired)
+
 The session is process-global and experiments are single-threaded (the
 simulator is a discrete-event loop), so a plain module global suffices.
 """
@@ -20,11 +28,15 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
+import json
 import re
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Union
 
+from .audit import AuditConfig, FairnessAuditor
 from .exporters import write_chrome_trace, write_events_jsonl, write_manifest
+from .flight import FlightRecorder
+from .prometheus import write_prometheus
 from .tracer import Tracer
 
 __all__ = ["TraceSession", "trace_session", "current_session", "clear_session"]
@@ -56,9 +68,16 @@ class TraceSession:
         self,
         directory: Union[str, Path],
         max_events: Optional[int] = 1_000_000,
+        audit: Optional[AuditConfig] = None,
+        flight_events: int = 2048,
     ) -> None:
         self.directory = Path(directory)
         self.max_events = max_events
+        #: Non-``None`` makes this an audited session: the runner builds
+        #: a :class:`FairnessAuditor` per run from this config.
+        self.audit = audit
+        #: Ring capacity for the per-run flight recorder.
+        self.flight_events = flight_events
         self.runs: List[str] = []
         #: Quarantined-cell error records (JSON-ready), in failure order.
         self.errors: List[Dict[str, Any]] = []
@@ -76,6 +95,8 @@ class TraceSession:
         config: Optional[Dict[str, Any]] = None,
         scheduler: Optional[Dict[str, Any]] = None,
         extra: Optional[Dict[str, Any]] = None,
+        auditor: Optional[FairnessAuditor] = None,
+        flight: Optional[FlightRecorder] = None,
     ) -> Path:
         """Write one run's artifacts; returns the run directory."""
         run_dir = self._unique_dir(tracer.name)
@@ -90,6 +111,17 @@ class TraceSession:
         counters = tracer.registry.snapshot()
         counters["trace.events"] = len(tracer.events)
         counters["trace.dropped_events"] = tracer.dropped_events
+        if auditor is not None:
+            with (run_dir / "audit_report.json").open("w") as fh:
+                json.dump(auditor.report(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            write_prometheus(
+                tracer.registry,
+                run_dir / "metrics.prom",
+                labels={"run": tracer.name},
+            )
+        if flight is not None and flight.dumps:
+            flight.write(run_dir / "flight_recorder.json")
         write_manifest(
             run_dir / "manifest.json",
             name=tracer.name,
@@ -181,11 +213,15 @@ class TraceSession:
 def trace_session(
     directory: Union[str, Path],
     max_events: Optional[int] = 1_000_000,
+    audit: Optional[AuditConfig] = None,
+    flight_events: int = 2048,
 ) -> Iterator[TraceSession]:
     """Activate a :class:`TraceSession` for the duration of the block."""
     global _ACTIVE
     previous = _ACTIVE
-    session = TraceSession(directory, max_events=max_events)
+    session = TraceSession(
+        directory, max_events=max_events, audit=audit, flight_events=flight_events
+    )
     _ACTIVE = session
     try:
         yield session

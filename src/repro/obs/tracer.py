@@ -29,9 +29,10 @@ silently ignored).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Callable, Iterator, List, Optional
 
 from .events import (
+    AUDIT,
     CANCEL,
     COMPLETE,
     DISPATCH,
@@ -61,9 +62,23 @@ class Tracer:
     max_events:
         Hard cap on retained events; further emissions only increment
         ``dropped_events``.  ``None`` (default) keeps everything.
+
+    Streaming consumers -- the online fairness auditor and the flight
+    recorder -- register as *sinks* (:meth:`add_sink`) and see every
+    emitted event, including those dropped from the retained list once
+    ``max_events`` overflows: bounded consumers must keep working
+    precisely on the runs too long to retain in full.
     """
 
-    __slots__ = ("name", "enabled", "events", "registry", "dropped_events", "_max")
+    __slots__ = (
+        "name",
+        "enabled",
+        "events",
+        "registry",
+        "dropped_events",
+        "_max",
+        "_sinks",
+    )
 
     def __init__(
         self,
@@ -77,13 +92,26 @@ class Tracer:
         self.registry = MetricsRegistry()
         self.dropped_events = 0
         self._max = max_events
+        self._sinks: List[Callable[[TraceEvent], None]] = []
 
     # -- emission --------------------------------------------------------------
+
+    def add_sink(self, sink: Callable[[TraceEvent], None]) -> None:
+        """Register a streaming consumer called with every emitted event.
+
+        Sinks run synchronously at emission, before the retained-list
+        append, and are *not* subject to ``max_events``.  A sink that
+        emits events of its own (the auditor does) re-enters ``emit``;
+        sinks must therefore ignore the kinds they produce.
+        """
+        self._sinks.append(sink)
 
     def emit(self, event: TraceEvent) -> None:
         """Append one event (respects ``enabled`` and ``max_events``)."""
         if not self.enabled:
             return
+        for sink in self._sinks:
+            sink(event)
         if self._max is not None and len(self.events) >= self._max:
             self.dropped_events += 1
             return
@@ -308,6 +336,20 @@ class Tracer:
                 {"api": api, "old": old, "new": new, "actual": actual},
             )
         )
+
+    def audit(
+        self,
+        t: float,
+        monitor: str,
+        *,
+        vt: Optional[float] = None,
+        tenant: Optional[str] = None,
+        **fields,
+    ) -> None:
+        self.registry.counter(f"audit.{monitor}").inc()
+        data = {"monitor": monitor}
+        data.update(fields)
+        self.emit(TraceEvent(AUDIT, t, vt, tenant, data))
 
     # -- inspection ------------------------------------------------------------
 

@@ -13,6 +13,7 @@ from .hotpath import (
     DEFAULT_TENANT_COUNTS,
     format_results,
     measure_dequeue_throughput,
+    measure_observability_overhead,
     run_hotpath_suite,
     write_results,
 )
@@ -22,6 +23,7 @@ __all__ = [
     "DEFAULT_TENANT_COUNTS",
     "format_results",
     "measure_dequeue_throughput",
+    "measure_observability_overhead",
     "run_hotpath_suite",
     "write_results",
 ]

@@ -33,17 +33,21 @@ from __future__ import annotations
 import json
 import platform
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core import make_scheduler
 from ..core.request import Request
+from ..obs.audit import AuditConfig, FairnessAuditor
+from ..obs.flight import FlightRecorder
 from ..obs.registry import Timer
+from ..obs.tracer import Tracer
 from ..simulator.rng import make_rng
 
 __all__ = [
     "DEFAULT_SCHEDULERS",
     "DEFAULT_TENANT_COUNTS",
     "measure_dequeue_throughput",
+    "measure_observability_overhead",
     "run_hotpath_suite",
     "format_results",
     "write_results",
@@ -103,11 +107,15 @@ def measure_dequeue_throughput(
     seed: int = 0,
     indexed: bool = True,
     repeats: int = 2,
+    tracer_factory: Optional[Callable[[], Tracer]] = None,
 ) -> Dict[str, Union[str, int, float, bool]]:
     """Time ``ops`` full dispatch cycles with ``num_tenants`` backlogged.
 
     Returns a record with ``rps`` (dispatches per wallclock second, best
-    of ``repeats`` runs on freshly built schedulers).
+    of ``repeats`` runs on freshly built schedulers).  ``tracer_factory``
+    (one fresh tracer per repetition) turns on event emission for the
+    timed region; the default ``None`` measures the shipped disabled
+    path.
     """
     if ops is None:
         ops = _default_ops(num_tenants)
@@ -123,6 +131,8 @@ def measure_dequeue_throughput(
             thread_rate=thread_rate,
             indexed=indexed,
         )
+        if tracer_factory is not None:
+            scheduler.attach_tracer(tracer_factory())
         initial = _build_backlog(scheduler_name, num_tenants, seed)
         for request in initial:
             scheduler.enqueue(request, 0.0)
@@ -161,6 +171,77 @@ def measure_dequeue_throughput(
         # so every repetition churns identically.
         record["index_stats"] = index.stats()
     return record
+
+
+def _audited_tracer(scheduler_name: str, num_threads: int) -> Tracer:
+    """The ``--audit`` sink stack on a bounded tracer: auditor + flight
+    recorder fed by every event, event retention capped (streaming
+    shape)."""
+    tracer = Tracer(f"hotpath-audited-{scheduler_name}", max_events=2048)
+    auditor = FairnessAuditor(AuditConfig(capacity=float(num_threads)), tracer)
+    tracer.add_sink(auditor.on_event)
+    recorder = FlightRecorder(capacity=512)
+    tracer.add_sink(recorder.on_event)
+    return tracer
+
+
+def measure_observability_overhead(
+    scheduler_name: str = "2dfq",
+    num_tenants: int = 100,
+    num_threads: int = 4,
+    ops: Optional[int] = None,
+    seed: int = 0,
+    repeats: int = 3,
+) -> Dict:
+    """Relative hot-path cost of each observability layer.
+
+    Times the identical dispatch-cycle workload three ways:
+
+    * ``disabled`` -- no tracer attached (the shipped default; every
+      instrumentation site is one ``is not None`` check);
+    * ``traced`` -- a bounded tracer attached (event emission plus the
+      per-phase scheduler timers the span builder consumes);
+    * ``audited`` -- the tracer additionally feeding the fairness
+      auditor and the flight recorder as sinks (the CLI ``--audit``
+      configuration).
+
+    Returns per-mode ``rps`` and throughput relative to ``disabled``
+    (1.0 = free, 0.5 = half speed).  Enabled-mode cost is recorded for
+    the trajectory, not gated: only the disabled path carries a perf
+    contract (DESIGN.md §9).
+    """
+    modes: List[Tuple[str, Optional[Callable[[], Tracer]]]] = [
+        ("disabled", None),
+        (
+            "traced",
+            lambda: Tracer(f"hotpath-traced-{scheduler_name}", max_events=2048),
+        ),
+        ("audited", lambda: _audited_tracer(scheduler_name, num_threads)),
+    ]
+    measured: Dict[str, Dict] = {}
+    for mode, factory in modes:
+        record = measure_dequeue_throughput(
+            scheduler_name,
+            num_tenants,
+            num_threads=num_threads,
+            ops=ops,
+            seed=seed,
+            repeats=repeats,
+            tracer_factory=factory,
+        )
+        measured[mode] = {"rps": round(float(record["rps"]), 1)}
+    disabled_rps = measured["disabled"]["rps"]
+    for mode in measured:
+        measured[mode]["relative"] = (
+            round(measured[mode]["rps"] / disabled_rps, 3) if disabled_rps else 0.0
+        )
+    return {
+        "scheduler": scheduler_name,
+        "tenants": num_tenants,
+        "threads": num_threads,
+        "ops": ops if ops is not None else _default_ops(num_tenants),
+        "modes": measured,
+    }
 
 
 def run_hotpath_suite(

@@ -56,6 +56,25 @@ class TestCLI:
         assert main(["fig06"]) == 0
         assert current_session() is None
 
+    def test_audit_flag_exports_audit_artifacts(self, capsys, tmp_path):
+        import json
+
+        audit_dir = tmp_path / "audit"
+        assert main(["fig08", "--duration", "1", "--audit", str(audit_dir)]) == 0
+        assert "trace artifacts" in capsys.readouterr().out
+        runs = [p for p in audit_dir.iterdir() if p.is_dir()]
+        assert runs
+        for run_dir in runs:
+            report = json.loads((run_dir / "audit_report.json").read_text())
+            assert {"lag", "bursty", "estimator_drift"} <= set(report["monitors"])
+            assert report["samples"] > 0
+            for line in (run_dir / "metrics.prom").read_text().splitlines():
+                if not line.startswith("#"):
+                    _, value = line.split()
+                    float(value)
+            manifest = json.loads((run_dir / "manifest.json").read_text())
+            assert "audit" in manifest
+
 
 class TestParallelFlags:
     def test_jobs_must_be_positive(self):
@@ -65,6 +84,17 @@ class TestParallelFlags:
     def test_trace_with_jobs_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["fig06", "--trace", str(tmp_path), "--jobs", "2"])
+
+    def test_audit_with_jobs_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["fig06", "--audit", str(tmp_path), "--jobs", "2"])
+
+    def test_audit_with_trace_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["fig06", "--trace", str(tmp_path / "t"),
+                 "--audit", str(tmp_path / "a")]
+            )
 
     def test_trace_with_serial_jobs_allowed(self, capsys, tmp_path):
         assert main(["fig06", "--trace", str(tmp_path), "--jobs", "1"]) == 0

@@ -1,0 +1,384 @@
+"""Fairness-auditor, Prometheus-exporter and flight-recorder tests.
+
+The acceptance criterion for the bursty monitor (ISSUE 7) is the last
+class: on the Fig-9 production workload the auditor flags WFQ and WF²Q
+as bursty and stays quiet for 2DFQ.  Burstiness under WF²Q manifests at
+the granularity of individual expensive requests (paper Fig 5), so the
+acceptance run samples at 20 ms -- at the default 100 ms interval each
+sample aggregates enough requests to smooth WF²Q's oscillation away,
+while WFQ's multi-second starvation bursts remain visible at any
+sampling rate.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.production import (
+    production_config,
+    production_specs,
+    production_trace,
+)
+from repro.experiments.runner import run_single
+from repro.obs import (
+    AuditConfig,
+    FairnessAuditor,
+    FlightRecorder,
+    MetricsRegistry,
+    TraceEvent,
+    TraceSession,
+    Tracer,
+    prometheus_text,
+)
+
+
+def enqueue_event(t, tenant, seqno, cost=1.0):
+    return TraceEvent(
+        "enqueue", t, None, tenant, {"seqno": seqno, "cost": cost, "api": "op"}
+    )
+
+
+def dispatch_event(t, tenant, seqno):
+    return TraceEvent("dispatch", t, 0.0, tenant, {"seqno": seqno, "thread": 0})
+
+
+def complete_event(t, tenant, actual, charged):
+    return TraceEvent(
+        "complete", t, None, tenant, {"actual": actual, "charged": charged}
+    )
+
+
+class TestLagMonitor:
+    def make(self):
+        # Two tenants at capacity 2.0 -> fair rate 1.0, so lag in
+        # service units reads directly as seconds.
+        return FairnessAuditor(AuditConfig(capacity=2.0, lag_threshold_seconds=0.25))
+
+    def test_trips_above_threshold_and_clears_with_hysteresis(self):
+        auditor = self.make()
+        auditor.on_sample(1.0, {"A": 0.0, "B": 1.0}, {"A": 0.5, "B": 0.5})
+        assert auditor.tripped_tenants("lag") == ["A"]
+        # 0.2 s of lag is below the 0.25 s trip threshold but above the
+        # 0.125 s clear threshold: the trip must hold (no flapping).
+        auditor.on_sample(2.0, {"A": 1.0, "B": 2.0}, {"A": 1.2, "B": 1.0})
+        assert auditor.tripped_tenants("lag") == ["A"]
+        auditor.on_sample(3.0, {"A": 3.0, "B": 3.0}, {"A": 3.0, "B": 3.0})
+        assert auditor.tripped_tenants("lag") == []
+        assert auditor.ever_tripped("lag") == ["A"]
+        tripped_flags = [e["tripped"] for e in auditor.trips if e["tenant"] == "A"]
+        assert tripped_flags == [True, False]
+
+    def test_trip_record_carries_lag_and_threshold(self):
+        auditor = self.make()
+        auditor.on_sample(1.0, {"A": 0.0, "B": 1.0}, {"A": 0.5, "B": 0.5})
+        (entry,) = auditor.trips
+        assert entry["monitor"] == "lag"
+        assert entry["lag_seconds"] == pytest.approx(0.5)
+        assert entry["threshold"] == 0.25
+        assert entry["t"] == 1.0
+
+    def test_without_capacity_the_lag_monitor_is_inert(self):
+        auditor = FairnessAuditor(AuditConfig(capacity=None))
+        auditor.on_sample(1.0, {"A": 0.0}, {"A": 100.0})
+        assert auditor.trips == []
+
+
+class TestBurstyMonitor:
+    CFG = AuditConfig(
+        capacity=4.0,
+        lag_threshold_seconds=1e9,  # isolate the bursty monitor
+        burst_window=4,
+        burst_cov_threshold=1.0,
+        burst_consecutive=2,
+    )
+
+    def backlog(self, auditor, tenant, n=20):
+        for i in range(n):
+            auditor.on_event(enqueue_event(0.0, tenant, i))
+
+    def feed(self, auditor, deltas, start_t=0.0):
+        total, t = 0.0, start_t
+        auditor.on_sample(t, {"A": total}, {"A": total})
+        for delta in deltas:
+            t += 1.0
+            total += delta
+            auditor.on_sample(t, {"A": total}, {"A": total})
+        return t
+
+    def test_on_off_service_to_a_backlogged_tenant_trips(self):
+        auditor = FairnessAuditor(self.CFG)
+        self.backlog(auditor, "A")
+        # Served in bursts: the whole fair share in one interval out of
+        # four.  Window [4,0,0,0]: CoV = sqrt(3) ~ 1.73 > 1.0.
+        self.feed(auditor, [4, 0, 0, 0, 4, 0, 0, 0, 4])
+        assert auditor.ever_tripped("bursty") == ["A"]
+        trip = next(e for e in auditor.trips if e["monitor"] == "bursty")
+        assert trip["tripped"] is True
+        assert trip["cov"] == pytest.approx(3.0**0.5)
+        assert trip["window"] == 4
+
+    def test_smooth_service_never_trips(self):
+        auditor = FairnessAuditor(self.CFG)
+        self.backlog(auditor, "A")
+        self.feed(auditor, [1.0] * 12)
+        assert auditor.ever_tripped("bursty") == []
+
+    def test_trip_clears_once_service_smooths_out(self):
+        auditor = FairnessAuditor(self.CFG)
+        self.backlog(auditor, "A")
+        t = self.feed(auditor, [4, 0, 0, 0, 4, 0, 0, 0, 4])
+        assert auditor.tripped_tenants("bursty") == ["A"]
+        total = auditor._tenants["A"].last_actual
+        for _ in range(6):
+            t += 1.0
+            total += 1.0
+            auditor.on_sample(t, {"A": total}, {"A": total})
+        assert auditor.tripped_tenants("bursty") == []
+        clear = [e for e in auditor.trips if e["monitor"] == "bursty"][-1]
+        assert clear["tripped"] is False
+
+    def test_idle_tenant_is_gated_out(self):
+        """Bursty *arrivals* are not bursty *allocations*: with no
+        enqueue events the tenant is never backlogged and the same
+        on/off service pattern must not trip."""
+        auditor = FairnessAuditor(self.CFG)
+        self.feed(auditor, [4, 0, 0, 0, 4, 0, 0, 0, 4])
+        assert auditor.ever_tripped("bursty") == []
+
+    def test_draining_the_queue_resets_the_window(self):
+        auditor = FairnessAuditor(self.CFG)
+        auditor.on_event(enqueue_event(0.0, "A", 0))
+        auditor.on_event(dispatch_event(0.0, "A", 0))  # queue empty again
+        self.feed(auditor, [4, 0, 0, 0, 4, 0, 0, 0, 4])
+        assert auditor.ever_tripped("bursty") == []
+
+
+class TestEstimatorDriftMonitor:
+    CFG = AuditConfig(drift_min_observations=3, drift_alpha=0.5, drift_threshold=0.5)
+
+    def test_persistent_miscarge_trips_then_accuracy_clears(self):
+        auditor = FairnessAuditor(self.CFG)
+        # |2 - 1|/1 = 1.0 relative error; EWMA -> 0.5, 0.75, 0.875.
+        for i in range(3):
+            auditor.on_event(complete_event(float(i), "B", actual=1.0, charged=2.0))
+        report = auditor.report()["monitors"]["estimator_drift"]
+        assert report["tripped"] is True
+        assert report["observations"] == 3
+        assert report["ewma"] == pytest.approx(0.875)
+        # Accurate charging decays the EWMA below threshold/2 -> clears.
+        for i in range(3, 6):
+            auditor.on_event(complete_event(float(i), "B", actual=1.0, charged=1.0))
+        assert auditor.report()["monitors"]["estimator_drift"]["tripped"] is False
+        flags = [
+            e["tripped"] for e in auditor.trips if e["monitor"] == "estimator_drift"
+        ]
+        assert flags == [True, False]
+        # Drift is a run-wide monitor, not per-tenant.
+        assert all(
+            e["tenant"] is None
+            for e in auditor.trips
+            if e["monitor"] == "estimator_drift"
+        )
+
+    def test_needs_minimum_observations(self):
+        auditor = FairnessAuditor(self.CFG)
+        auditor.on_event(complete_event(0.0, "B", actual=1.0, charged=5.0))
+        assert auditor.trips == []
+
+    def test_zero_actual_completions_are_skipped(self):
+        auditor = FairnessAuditor(self.CFG)
+        for i in range(10):
+            auditor.on_event(complete_event(float(i), "B", actual=0.0, charged=1.0))
+        assert auditor.report()["monitors"]["estimator_drift"]["observations"] == 0
+
+
+class TestTracerIntegration:
+    def test_trips_emit_audit_events_and_gauges(self):
+        tracer = Tracer("audited")
+        auditor = FairnessAuditor(
+            AuditConfig(capacity=2.0, lag_threshold_seconds=0.25), tracer
+        )
+        tracer.add_sink(auditor.on_event)  # audit events come back through
+        auditor.on_sample(1.0, {"A": 0.0, "B": 1.0}, {"A": 0.5, "B": 0.5})
+        (event,) = tracer.of_kind("audit")
+        assert event.tenant == "A"
+        assert event.data["monitor"] == "lag"
+        assert event.data["tripped"] is True
+        registry = tracer.registry
+        assert registry.counter("audit.lag").value == 1
+        assert registry.gauge("audit.samples").value == 1.0
+        assert registry.gauge("audit.tenants_lagging").value == 1.0
+        assert registry.gauge("audit.tenants_bursty").value == 0.0
+
+    def test_attach_tracer_ignores_disabled(self):
+        auditor = FairnessAuditor()
+        auditor.attach_tracer(Tracer("off", enabled=False))
+        assert auditor._tracer is None
+        # Trips still recorded locally, just not emitted anywhere.
+        auditor.config.capacity = 1.0
+        auditor.on_sample(1.0, {"A": 0.0}, {"A": 1.0})
+        assert auditor.ever_tripped("lag") == ["A"]
+
+    def test_report_is_json_ready(self):
+        auditor = FairnessAuditor(AuditConfig(capacity=2.0))
+        auditor.on_sample(1.0, {"A": 0.0, "B": 1.0}, {"A": 0.5, "B": 0.5})
+        payload = json.dumps(auditor.report())
+        assert "monitors" in payload
+
+
+class TestPrometheusText:
+    def fake_registry(self):
+        times = iter([1.0, 1.5])
+        registry = MetricsRegistry(clock=lambda: next(times))
+        registry.counter("scheduler.dispatches").inc(3)
+        registry.gauge("audit.samples").set(12.0)
+        timer = registry.timer("scheduler.phase.select")
+        timer.start()
+        timer.stop()
+        return registry
+
+    def test_pinned_output(self):
+        text = prometheus_text(self.fake_registry(), labels={"run": "fig9--wfq"})
+        assert text == (
+            "# TYPE repro_audit_samples gauge\n"
+            'repro_audit_samples{run="fig9--wfq"} 12\n'
+            "# TYPE repro_scheduler_dispatches counter\n"
+            'repro_scheduler_dispatches{run="fig9--wfq"} 3\n'
+            "# TYPE repro_scheduler_phase_select_count counter\n"
+            'repro_scheduler_phase_select_count{run="fig9--wfq"} 1\n'
+            "# TYPE repro_scheduler_phase_select_seconds_total counter\n"
+            'repro_scheduler_phase_select_seconds_total{run="fig9--wfq"} 0.5\n'
+        )
+
+    def test_every_line_parses_as_exposition_format(self):
+        for line in prometheus_text(self.fake_registry()).splitlines():
+            if line.startswith("# TYPE"):
+                _, _, metric, prom_type = line.split()
+                assert prom_type in {"counter", "gauge"}
+            else:
+                metric, value = line.split()
+                float(value)
+            assert metric.replace("_", "a").isidentifier()
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_invalid_leading_character_is_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("2dfq.hit-rate").inc()
+        text = prometheus_text(registry, namespace="")
+        assert "_2dfq_hit_rate 1" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        text = prometheus_text(registry, labels={"run": 'a"b\\c'})
+        assert '{run="a\\"b\\\\c"}' in text
+
+
+class TestFlightRecorder:
+    def test_ring_is_bounded(self):
+        recorder = FlightRecorder(capacity=3)
+        for i in range(5):
+            recorder.on_event(TraceEvent("vt_update", float(i), 0.0, None, {}))
+        assert len(recorder) == 3
+        assert recorder.events_seen == 5
+        assert recorder.dumps == []
+
+    def test_fault_triggers_a_dump_of_the_ring(self):
+        recorder = FlightRecorder(capacity=8)
+        recorder.on_event(TraceEvent("dispatch", 0.0, 0.0, "A", {"seqno": 0}))
+        recorder.on_event(TraceEvent("dispatch", 1.0, 1.0, "B", {"seqno": 1}))
+        trigger = TraceEvent("fault", 2.0, None, None, {"fault": "worker_crash"})
+        recorder.on_event(trigger)
+        (dump,) = recorder.dumps
+        assert dump["trigger"] == trigger.as_dict()
+        assert dump["events_seen"] == 3
+        assert [e["kind"] for e in dump["ring"]] == ["dispatch", "dispatch", "fault"]
+
+    def test_dump_storm_is_capped_and_counted(self):
+        recorder = FlightRecorder(capacity=4, max_dumps=1)
+        for i in range(3):
+            recorder.on_event(TraceEvent("invariant", float(i), None, None, {}))
+        assert len(recorder.dumps) == 1
+        assert recorder.suppressed_dumps == 2
+        assert recorder.payload()["suppressed_dumps"] == 2
+
+    def test_write_round_trips(self, tmp_path):
+        recorder = FlightRecorder(capacity=4)
+        recorder.on_event(TraceEvent("fault", 0.0, None, None, {"fault": "x"}))
+        path = recorder.write(tmp_path / "flight.json")
+        payload = json.loads(path.read_text())
+        assert payload["capacity"] == 4
+        assert payload["trigger_kinds"] == ["fault", "invariant"]
+        assert len(payload["dumps"]) == 1
+
+    def test_sink_sees_events_past_the_tracer_cap(self):
+        """The recorder is a sink: a bounded tracer that has stopped
+        retaining events still feeds it every event."""
+        tracer = Tracer("t", max_events=1)
+        recorder = FlightRecorder(capacity=8)
+        tracer.add_sink(recorder.on_event)
+        tracer.vt_update(0.0, 0.0, None, reason="a")
+        tracer.vt_update(1.0, 1.0, None, reason="b")
+        tracer.fault(2.0, "worker_crash", worker=0)
+        assert len(tracer) == 1  # tracer itself capped
+        assert recorder.events_seen == 3
+        (dump,) = recorder.dumps
+        assert len(dump["ring"]) == 3
+
+
+class TestAuditedSessionArtifacts:
+    def test_export_run_writes_audit_artifacts(self, tmp_path):
+        session = TraceSession(tmp_path, audit=AuditConfig(capacity=2.0))
+        tracer = session.tracer("fig9 (wfq)")
+        auditor = FairnessAuditor(session.audit, tracer)
+        flight = FlightRecorder(capacity=8)
+        tracer.add_sink(flight.on_event)
+        auditor.on_sample(1.0, {"A": 0.0, "B": 1.0}, {"A": 0.5, "B": 0.5})
+        tracer.fault(2.0, "worker_crash", worker=1)
+        run_dir = session.export_run(tracer, auditor=auditor, flight=flight)
+        report = json.loads((run_dir / "audit_report.json").read_text())
+        assert report["monitors"]["lag"]["ever_tripped"] == ["A"]
+        prom = (run_dir / "metrics.prom").read_text()
+        assert f'run="{tracer.name}"' in prom
+        assert "repro_audit_samples" in prom
+        flight_payload = json.loads((run_dir / "flight_recorder.json").read_text())
+        assert len(flight_payload["dumps"]) == 1
+
+    def test_flight_artifact_omitted_without_dumps(self, tmp_path):
+        session = TraceSession(tmp_path, audit=AuditConfig(capacity=2.0))
+        tracer = session.tracer("quiet")
+        auditor = FairnessAuditor(session.audit, tracer)
+        flight = FlightRecorder(capacity=8)
+        run_dir = session.export_run(tracer, auditor=auditor, flight=flight)
+        assert (run_dir / "audit_report.json").exists()
+        assert not (run_dir / "flight_recorder.json").exists()
+
+
+class TestFig9Acceptance:
+    """The paper's observable claim, as an auditor property: on the
+    production workload WFQ and WF²Q give backlogged tenants bursty
+    allocations, 2DFQ gives them smooth ones (Figs 5, 9)."""
+
+    def test_bursty_auditor_separates_the_schedulers(self):
+        config = dataclasses.replace(
+            production_config(duration=3.0), sample_interval=0.02
+        )
+        specs = production_specs(
+            num_random=20, include_fixed=True, named_mode="backlogged"
+        )
+        trace = production_trace(specs, config, open_loop_utilization=0.5)
+        flagged = {}
+        for name in ("wfq", "wf2q", "2dfq"):
+            tracer = Tracer(f"fig9-audit-{name}", max_events=100)
+            auditor = FairnessAuditor(AuditConfig(capacity=config.capacity), tracer)
+            run_single(name, specs, config, trace=trace, tracer=tracer, auditor=auditor)
+            flagged[name] = auditor.ever_tripped("bursty")
+        assert flagged["wfq"], "WFQ must flag bursty allocations"
+        assert flagged["wf2q"], "WF²Q must flag bursty allocations"
+        assert flagged["2dfq"] == [], "2DFQ must stay quiet"
+        # WFQ's starvation bursts are broader than WF²Q's per-request
+        # oscillation: it should flag at least as many tenants.
+        assert len(flagged["wfq"]) >= len(flagged["wf2q"])

@@ -17,7 +17,7 @@ from repro.obs import (
     write_manifest,
 )
 
-VALID_PHASES = {"M", "X", "C"}
+VALID_PHASES = {"M", "X", "C", "i"}
 
 
 def _dispatch_log():
@@ -32,6 +32,17 @@ def _events():
     return [
         TraceEvent("dispatch", 0.0, 0.0, "A", {"backlog": 2}),
         TraceEvent("dispatch", 1.0, 1.0, "A", {"backlog": 1}),
+    ]
+
+
+def _exceptional_events():
+    return [
+        TraceEvent(
+            "cancel", 1.5, 2.0, "A", {"seqno": 7, "api": "op", "was_running": False}
+        ),
+        TraceEvent("fault", 2.0, None, None, {"fault": "worker_crash", "worker": 1}),
+        TraceEvent("invariant", 2.5, 3.0, "B", {"code": "vt-monotonic"}),
+        TraceEvent("audit", 3.0, None, "B", {"monitor": "bursty", "tripped": True}),
     ]
 
 
@@ -88,6 +99,40 @@ class TestChromeTrace:
         counters = [e for e in events if e["ph"] == "C"]
         assert {e["name"] for e in counters} == {"virtual_time", "backlog"}
 
+    def test_instant_event_schema(self):
+        """cancel/fault/invariant/audit render as tenant-colored
+        process-scoped instant events carrying the full payload."""
+        events = chrome_trace_events(
+            _dispatch_log(), trace_events=_events() + _exceptional_events()
+        )
+        instants = [e for e in events if e["ph"] == "i"]
+        assert [e["name"] for e in instants] == [
+            "cancel",
+            "fault:worker_crash",
+            "invariant:vt-monotonic",
+            "audit:bursty",
+        ]
+        for instant in instants:
+            assert instant["s"] == "p"
+            assert instant["pid"] == 1
+            assert isinstance(instant["ts"], float)
+            assert instant["cat"] in {"cancel", "fault", "invariant", "audit"}
+            assert isinstance(instant["cname"], str) and instant["cname"]
+            assert "kind" not in instant["args"] and "t" not in instant["args"]
+        cancel, fault, inv, audit = instants
+        assert cancel["args"]["seqno"] == 7
+        assert fault["args"]["fault"] == "worker_crash"
+        assert inv["args"]["code"] == "vt-monotonic"
+        assert audit["args"]["monitor"] == "bursty"
+        # Tenant coloring is deterministic: same tenant, same color;
+        # tenantless events get the neutral color.
+        assert inv["cname"] == audit["cname"]
+        assert fault["cname"] == "generic_work"
+
+    def test_instant_events_skipped_without_trace_events(self):
+        events = chrome_trace_events(_dispatch_log())
+        assert not [e for e in events if e["ph"] == "i"]
+
     def test_duck_types_objects_with_label(self):
         class Slot:
             thread_id = 0
@@ -135,6 +180,32 @@ class TestManifest:
         assert manifest["config"] == {}
         assert manifest["scheduler"] == {}
         assert "counters" not in manifest
+
+    def test_provenance_cached_one_subprocess_per_process(self, monkeypatch):
+        """Two manifest builds spawn exactly one git subprocess: the SHA
+        and package versions are memoized per process."""
+        from repro.obs import exporters
+
+        calls = []
+        real_run = exporters.subprocess.run
+
+        def counting_run(*args, **kwargs):
+            calls.append(args)
+            return real_run(*args, **kwargs)
+
+        monkeypatch.setattr(exporters.subprocess, "run", counting_run)
+        exporters._git_sha.cache_clear()
+        exporters._cached_package_versions.cache_clear()
+        first = build_manifest(name="a")
+        second = build_manifest(name="b")
+        assert len(calls) == 1
+        assert first["git_sha"] == second["git_sha"]
+        assert first["versions"] == second["versions"]
+
+    def test_cached_versions_are_copies(self):
+        first = build_manifest(name="a")
+        first["versions"]["python"] = "mutated"
+        assert build_manifest(name="b")["versions"]["python"] != "mutated"
 
 
 class TestTraceSession:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.obs import Counter, Gauge, MetricsRegistry, Timer
+from repro.obs import HOST_CLOCK, Counter, Gauge, MetricsRegistry, Timer
 
 
 class TestCounter:
@@ -43,6 +43,50 @@ class TestTimer:
         elapsed = timer.stop()
         assert elapsed == timer.last
         assert timer.count == 1
+
+
+class TestInjectableClock:
+    def test_timer_reads_through_injected_clock(self):
+        now = {"t": 10.0}
+        timer = Timer("t", clock=lambda: now["t"])
+        timer.start()
+        now["t"] = 12.5
+        assert timer.stop() == pytest.approx(2.5)
+        assert timer.total == pytest.approx(2.5)
+
+    def test_timer_defaults_to_host_clock(self):
+        assert Timer("t").clock is HOST_CLOCK
+
+    def test_registry_clock_applies_to_new_timers(self):
+        clock = lambda: 0.0  # noqa: E731
+        registry = MetricsRegistry(clock=clock)
+        assert registry.timer("a").clock is clock
+
+    def test_set_clock_rewires_existing_timers(self):
+        registry = MetricsRegistry()
+        timer = registry.timer("a")
+        now = {"t": 0.0}
+        registry.set_clock(lambda: now["t"])
+        timer.start()
+        now["t"] = 3.0
+        assert timer.stop() == pytest.approx(3.0)
+
+    def test_set_clock_none_restores_host_clock(self):
+        registry = MetricsRegistry(clock=lambda: 0.0)
+        timer = registry.timer("a")
+        registry.set_clock(None)
+        assert timer.clock is HOST_CLOCK
+        assert registry.timer("b").clock is HOST_CLOCK
+
+
+class TestInstrumentsView:
+    def test_yields_typed_triples_in_registration_order(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(2.0)
+        registry.timer("t")
+        triples = [(kind, name) for kind, name, _ in registry.instruments()]
+        assert triples == [("counter", "c"), ("gauge", "g"), ("timer", "t")]
 
 
 class TestMetricsRegistry:

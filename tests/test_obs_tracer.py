@@ -8,10 +8,18 @@ threads, equal weights.  Under 2DFQ thread 0 (stagger 0) runs the small
 requests and thread 1 (stagger 1/2) the large ones, and every start/
 finish tag in between is hand-checkable.
 
+A second golden pins the 2DFQ^E estimated variant of the same scenario
+(``tests/data/golden_2dfqe_trace.jsonl``): a pessimistic estimator with
+initial estimate 1.0 under-charges B's cost-4 requests at dispatch, so
+the stream additionally exercises ``refresh_charge`` virtual-time
+updates (interim usage exceeding the pre-paid credit) and ``estimate``
+events (the estimator absorbing measured costs at completion).
+
 Regenerate after an *intentional* semantics change with::
 
     PYTHONPATH=src:tests python -c \
-        "from test_obs_tracer import write_golden; write_golden()"
+        "from test_obs_tracer import write_golden, write_golden_estimated; \
+         write_golden(); write_golden_estimated()"
 """
 
 import heapq
@@ -28,6 +36,7 @@ from repro.estimation.pessimistic import PessimisticEstimator
 from repro.obs import EVENT_KINDS, TraceEvent, Tracer
 
 GOLDEN = Path(__file__).parent / "data" / "golden_2dfq_trace.jsonl"
+GOLDEN_E = Path(__file__).parent / "data" / "golden_2dfqe_trace.jsonl"
 
 
 def run_golden_example():
@@ -68,14 +77,75 @@ def run_golden_example():
     return tracer
 
 
+def run_golden_estimated_example():
+    """The 2DFQ^E variant of the golden run (estimated costs).
+
+    Same two-tenant scenario as :func:`run_golden_example`, but with a
+    pessimistic estimator starting at 1.0 -- so B's cost-4 requests are
+    under-estimated at first dispatch -- and with the server-side usage
+    reporting modeled in: each running request reports 1.0 usage at unit
+    intervals (the paper's refresh charging, §5) and completes with its
+    true cost (retroactive charging).  Caller must reset
+    ``repro.core.request._SEQUENCE`` first.
+    """
+    scheduler = make_scheduler(
+        "2dfq-e", num_threads=2, thread_rate=1.0, estimator=PessimisticEstimator()
+    )
+    tracer = Tracer("golden-2dfq-e")
+    scheduler.attach_tracer(tracer)
+    scheduler.estimator.attach_tracer(tracer)
+    costs = {"A": 1.0, "B": 4.0}
+
+    def enqueue(tenant, now):
+        scheduler.enqueue(
+            Request(tenant_id=tenant, cost=costs[tenant], api="op"), now
+        )
+
+    for tenant in ("A", "B"):
+        enqueue(tenant, 0.0)
+    free_heap = [(0.0, 0), (0.0, 1)]
+    heapq.heapify(free_heap)
+    # (time, seqno, phase, request): phase 0 = interim refresh report,
+    # phase 1 = completion.  The (time, seqno, phase) prefix is unique,
+    # so requests never need comparing.
+    pending = []
+    while free_heap:
+        now, thread_id = heapq.heappop(free_heap)
+        if now >= 8.0:
+            continue
+        while pending and pending[0][0] <= now:
+            t, _, phase, req = heapq.heappop(pending)
+            if phase == 0:
+                scheduler.refresh(req, 1.0, t)
+            else:
+                scheduler.complete(req, req.cost, t)
+        request = scheduler.dequeue(thread_id, now)
+        end = now + request.cost
+        enqueue(request.tenant_id, now)
+        for k in range(1, int(request.cost)):
+            heapq.heappush(pending, (now + float(k), request.seqno, 0, request))
+        heapq.heappush(pending, (end, request.seqno, 1, request))
+        heapq.heappush(free_heap, (end, thread_id))
+    return tracer
+
+
+def _write_golden_file(path, tracer):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for event in tracer.events:
+            fh.write(json.dumps(event.as_dict()) + "\n")
+
+
 def write_golden():
     """Regenerate the committed golden trace (intentional changes only)."""
     request_module._SEQUENCE = itertools.count()
-    tracer = run_golden_example()
-    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
-    with GOLDEN.open("w") as fh:
-        for event in tracer.events:
-            fh.write(json.dumps(event.as_dict()) + "\n")
+    _write_golden_file(GOLDEN, run_golden_example())
+
+
+def write_golden_estimated():
+    """Regenerate the committed 2DFQ^E golden trace."""
+    request_module._SEQUENCE = itertools.count()
+    _write_golden_file(GOLDEN_E, run_golden_estimated_example())
 
 
 class TestTracerSemantics:
@@ -187,6 +257,7 @@ class TestInstrumentedRun:
         assert scheduler.cancel(doomed, now)
         tracer.fault(now, "worker_crash", worker=0)
         tracer.invariant(now, "vt-monotonic", tenant="T0", message="test")
+        tracer.audit(now, "bursty", tenant="T0", tripped=True, cov=1.5)
         kinds = {event.kind for event in tracer}
         assert kinds == set(EVENT_KINDS)
         for event in tracer:
@@ -288,3 +359,54 @@ class TestGoldenTrace:
         tracer = run_golden_example()
         kinds = {event.kind for event in tracer}
         assert kinds == {"vt_update", "enqueue", "select", "dispatch", "complete"}
+
+
+class TestGoldenEstimatedTrace:
+    @pytest.fixture(autouse=True)
+    def _fresh_seqnos(self, monkeypatch):
+        monkeypatch.setattr(request_module, "_SEQUENCE", itertools.count())
+
+    def test_matches_committed_golden_file(self):
+        tracer = run_golden_estimated_example()
+        produced = [event.as_dict() for event in tracer.events]
+        with GOLDEN_E.open() as fh:
+            expected = [json.loads(line) for line in fh]
+        assert len(produced) == len(expected)
+        for i, (got, want) in enumerate(zip(produced, expected)):
+            assert got == want, f"event {i} diverged"
+
+    def test_covers_the_estimator_event_path(self):
+        tracer = run_golden_estimated_example()
+        kinds = {event.kind for event in tracer}
+        # The known-cost golden never exercises these two.
+        assert "estimate" in kinds
+        refreshes = [
+            e for e in tracer.of_kind("vt_update")
+            if e.data["reason"] == "refresh_charge"
+        ]
+        assert refreshes, "under-estimated B requests must refresh-charge"
+        assert all(e.tenant == "B" for e in refreshes)
+
+    def test_pessimistic_estimator_learns_b(self):
+        tracer = run_golden_estimated_example()
+        b_dispatches = [
+            e for e in tracer.of_kind("dispatch") if e.tenant == "B"
+        ]
+        assert len(b_dispatches) >= 2
+        # Both B dispatches inside the horizon happen before B's first
+        # completion (the closed loop keeps two in flight), so both are
+        # charged the initial estimate 1.0 -- far below the true cost 4.
+        for dispatch in b_dispatches:
+            assert dispatch.data["estimate"] == pytest.approx(1.0)
+        # Completion reconciliation reports the under-charge...
+        b_completes = [
+            e for e in tracer.of_kind("complete") if e.tenant == "B"
+        ]
+        assert b_completes[0].data["error"] == pytest.approx(1.0 - 4.0)
+        # ...and the pessimistic max-decay estimator absorbs the real
+        # cost the moment it observes it.
+        b_estimates = [
+            e for e in tracer.of_kind("estimate") if e.tenant == "B"
+        ]
+        assert b_estimates[0].data["old"] is None
+        assert b_estimates[0].data["new"] == pytest.approx(4.0)
