@@ -1,0 +1,79 @@
+"""Perf-regression harness: event-queue throughput (heap vs calendar).
+
+Not a paper figure -- this benchmark tracks the simulator's event-loop
+speed.  It runs the hold model (pop the earliest event, push a
+replacement an exponential increment later) at pending-event counts
+from a thousand to a million, on both :class:`~repro.simulator.events`
+implementations: the reference binary heap and the calendar queue
+selectable via ``ExperimentConfig.event_queue = "calendar"``.
+
+The committed deliverable is the ``event_queue`` section of
+``BENCH_manifest.json`` (plus the printed table under
+``benchmarks/results/``): the heap-vs-calendar ratio trajectory that
+justifies the calendar queue's existence.
+
+Acceptance bars (full scale only -- the sweep needs the million-entry
+regime to be meaningful):
+
+* at the top of the sweep (1M pending) the calendar queue must deliver
+  >= 2x the heap's throughput -- the O(1)-amortized bucket scan beating
+  the heap's cache-hostile sift walks;
+* at the bottom (1k pending) it must stay within 2x of the heap (the
+  regime the heap wins; the calendar queue must merely not collapse).
+
+Smoke runs (``REPRO_BENCH_OPS`` set) scale ops down and cap the sweep
+at 50k pending, where neither bar applies -- only sanity is checked.
+"""
+
+import os
+
+from repro.perf import (
+    format_event_queue_results,
+    measure_event_queue_throughput,
+)
+
+from conftest import emit, merge_bench_manifest, once
+
+#: Full-scale sweep: heap-friendly, crossover, and fleet-scale regimes.
+FULL_PENDING_SIZES = (1_000, 100_000, 1_000_000)
+#: Smoke sweep: just enough to exercise both implementations end to end
+#: (resizes, day walks) without the million-entry build cost.
+SMOKE_PENDING_SIZES = (1_000, 50_000)
+
+
+def test_bench_event_queue(benchmark, capsys):
+    ops_env = int(os.environ.get("REPRO_BENCH_OPS", "0"))
+    repeats = int(os.environ.get("REPRO_BENCH_REPEATS", "0")) or 2
+    reduced = ops_env > 0
+    payload = once(
+        benchmark,
+        lambda: measure_event_queue_throughput(
+            pending_sizes=SMOKE_PENDING_SIZES if reduced else FULL_PENDING_SIZES,
+            ops=ops_env if reduced else 200_000,
+            repeats=repeats,
+        ),
+    )
+    merge_bench_manifest(event_queue=payload)
+    emit(
+        capsys,
+        "BENCH: event-queue hold-model throughput (heap vs calendar)",
+        format_event_queue_results(payload)
+        + "\n\nratio = calendar/heap; >= 2x required at 1M pending "
+        + "(full scale)",
+    )
+    rows = {row["pending"]: row for row in payload["results"]}
+    assert all(
+        row["heap_rps"] > 0 and row["calendar_rps"] > 0
+        for row in rows.values()
+    )
+    if reduced:
+        return
+    top = rows[max(rows)]
+    assert top["calendar_vs_heap"] >= 2.0, (
+        f"calendar queue lost its >=2x advantage at {top['pending']:,} "
+        f"pending events: {top}"
+    )
+    bottom = rows[min(rows)]
+    assert bottom["calendar_vs_heap"] >= 0.5, (
+        f"calendar queue collapsed in the heap-friendly regime: {bottom}"
+    )

@@ -2,21 +2,37 @@
 
 Not a paper figure -- this benchmark tracks the simulator's own speed.
 It measures full dispatch cycles (dequeue + complete + enqueue) per
-wallclock second with N = 10 / 100 / 1000 tenants continuously
-backlogged, for every virtual-time scheduler, in both selection modes:
-the reference O(N) linear scans (``indexed=False``) and the O(log N)
-selection index that production runs use by default.
+wallclock second with N = 2 / 10 / 100 / 1000 / 10000 tenants
+continuously backlogged, for every virtual-time scheduler, in all three
+selection modes: the reference O(N) linear scans (``indexed=False``),
+the forced O(log N) selection index (``indexed=True``), and the
+adaptive ``indexed="auto"`` default that picks per scheduler from the
+live backlog size.
 
 The committed deliverable is ``benchmarks/results/BENCH_schedulers.json``
--- the requests/sec trajectory tracked from PR to PR, now including the
+-- the requests/sec trajectory tracked from PR to PR, including the
 ``SelectionIndex`` lazy-invalidation churn (stale pops, heap rebuilds,
-pushes) per indexed cell -- plus ``BENCH_manifest.json``, the provenance
-record (seed, versions, git SHA) of the machine/run that produced it.
+pushes, touches) per indexed cell -- plus ``BENCH_manifest.json``, whose
+``adaptive_selection`` (linear-vs-index crossover sweep) and
+``batch_dispatch`` (dequeue_batch size ablation) sections this module
+owns alongside the provenance record (seed, versions, git SHA).
 
-Two acceptance bars:
+Acceptance bars:
 
-* at 1000 backlogged tenants the index must buy >= 2x dequeue
+* the adaptive default must never lose to the linear reference at small
+  backlogs (N = 2 and 10: auto runs the identical linear algorithm, so
+  the best *paired* per-repetition ratio -- interleaved modes, jittered
+  allocator; see ``measure_paired_cell`` -- must reach 1.0x) and must
+  match the index above the threshold (N >= 1000: >= 7x linear at full
+  scale, >= 5x on reduced smoke runs);
+* at 1000 backlogged tenants the forced index must buy >= 2x dequeue
   throughput for 2DFQ and WF2Q (PR-1's bar, unchanged);
+* the auto threshold crossing is deterministic: the index must be OFF
+  at N <= 10 and ON at N >= 100 in every auto cell;
+* churn pins: stale pops never exceed heap pushes (conservation of
+  lazily-invalidated entries), and the stagger-aware 2DFQ family stays
+  near one ladder push per touch (<= 2x) at N >= 1000 -- the
+  order-of-magnitude churn cut the deferred dirty-log buys;
 * with tracing *disabled* (the default: no tracer attached, so every
   instrumentation site is a single ``is not None`` check) throughput
   must stay within 5% of the committed baseline, comparing the median
@@ -35,6 +51,8 @@ import statistics
 from repro.obs import write_manifest
 from repro.perf import (
     format_results,
+    measure_adaptive_crossover,
+    measure_batch_dispatch,
     measure_observability_overhead,
     run_hotpath_suite,
     write_results,
@@ -90,25 +108,45 @@ def _format_observability(section):
     return "\n".join(lines)
 
 
+#: Manifest sections owned by *other* bench modules, carried over when
+#: this module rewrites the manifest (write_manifest replaces the file
+#: wholesale).
+PRESERVED_SECTIONS = ("parallel_engine", "metrics_streaming", "event_queue")
+
+
 def test_bench_perf_hotpath(benchmark, capsys):
     ops_env = int(os.environ.get("REPRO_BENCH_OPS", "0"))
+    # Wallclock cells report best-of-`repeats`; raising it (committed
+    # full-scale runs use 5) tightens the noise floor on shared hosts.
+    repeats = int(os.environ.get("REPRO_BENCH_REPEATS", "0")) or 2
+    reduced = ops_env > 0
     baseline = _load_baseline()
     payload = once(
         benchmark,
-        lambda: run_hotpath_suite(ops=ops_env or None),
+        lambda: run_hotpath_suite(ops=ops_env or None, repeats=repeats),
     )
     write_results(payload, BENCH_JSON)
     # Enabled-mode observability cost (spans-grade tracing, full --audit
     # sink stack) vs the disabled default, on the 2DFQ hot path.
     observability = measure_observability_overhead(
-        "2dfq", num_tenants=100, ops=ops_env or None
+        "2dfq", num_tenants=100, ops=ops_env or None, repeats=repeats
     )
-    # write_manifest replaces the file wholesale; carry over sections
-    # other bench modules own (the parallel-engine timings).
+    # Adaptive-policy provenance: the crossover sweep that backs the
+    # AUTO_INDEX_HIGH/LOW thresholds, for the paper's scheduler and the
+    # policy with the latest measured crossover.
+    crossover = {
+        name: measure_adaptive_crossover(
+            name, ops=ops_env or None, repeats=repeats
+        )
+        for name in ("2dfq", "wf2q+")
+    }
+    batch = measure_batch_dispatch(
+        "2dfq", num_tenants=100, ops=ops_env or None, repeats=repeats
+    )
     preserved = {
         key: value
         for key, value in read_bench_manifest().items()
-        if key == "parallel_engine"
+        if key in PRESERVED_SECTIONS
     }
     write_manifest(
         BENCH_MANIFEST,
@@ -118,6 +156,8 @@ def test_bench_perf_hotpath(benchmark, capsys):
         extra={
             "results_file": BENCH_JSON.name,
             "observability": observability,
+            "adaptive_selection": crossover,
+            "batch_dispatch": batch,
             **preserved,
         },
     )
@@ -138,19 +178,94 @@ def test_bench_perf_hotpath(benchmark, capsys):
         + f"\nfull results -> {BENCH_JSON.relative_to(RESULTS_DIR.parent.parent)}",
     )
     rows = {(r["scheduler"], r["tenants"]): r for r in payload["results"]}
-    # Acceptance bar: the index must hold >= 2x at the 1000-tenant
-    # backlog for the paper's contribution and its closest baseline.
+    # Acceptance bar: the forced index must hold >= 2x at the
+    # 1000-tenant backlog for the paper's contribution and its closest
+    # baseline (PR-1's bar, unchanged).
     for name in ("2dfq", "wf2q"):
         row = rows[(name, 1000)]
-        assert row["speedup"] >= 2.0, (
+        assert row["indexed_speedup"] >= 2.0, (
             f"{name} indexed selection regressed below 2x at 1000 tenants: {row}"
         )
+    schedulers = {name for name, _ in rows}
+    for name in schedulers:
+        # The adaptive threshold crossing is deterministic: linear below
+        # AUTO_INDEX_HIGH, indexed above (the backlog build crosses it).
+        for tenants in (2, 10):
+            if (name, tenants) in rows:
+                row = rows[(name, tenants)]
+                assert not row["auto_index_active"], row
+                # Below the threshold auto runs the identical linear
+                # algorithm, so the best paired per-repetition ratio
+                # must reach break-even -- anything less means the
+                # adaptive check itself costs throughput.  The gate
+                # needs full-size cells to be meaningful.
+                if not reduced:
+                    assert row["speedup"] >= 1.0, (
+                        f"{name} auto mode lost to linear at "
+                        f"{tenants} tenants: {row}"
+                    )
+        for tenants in (100, 1000, 10000):
+            if (name, tenants) in rows:
+                assert rows[(name, tenants)]["auto_index_active"], (
+                    rows[(name, tenants)]
+                )
+        # Above the threshold the adaptive default must deliver the
+        # index's asymptotic win for *every* policy.  Reduced smoke runs
+        # get a lower bar (5x, the CI gate), and only when the cell is
+        # big enough to amortize the one-off index build (>= 200 ops);
+        # below that the measurement is all fixed cost.
+        bar = 5.0 if reduced else 7.0
+        for tenants in (1000, 10000):
+            if (name, tenants) in rows and (not reduced or ops_env >= 200):
+                row = rows[(name, tenants)]
+                assert row["speedup"] >= bar, (
+                    f"{name} auto mode below {bar}x linear at {tenants} "
+                    f"tenants: {row}"
+                )
     # Sanity: every cell actually measured work, and the churn counters
     # are live (every indexed run pushes heap entries).
-    assert all(r["indexed_rps"] > 0 and r["linear_rps"] > 0 for r in rows.values())
+    assert all(
+        r["indexed_rps"] > 0 and r["linear_rps"] > 0 and r["auto_rps"] > 0
+        for r in rows.values()
+    )
     assert all(r["heap_pushes"] > 0 for r in rows.values())
     # Lazy invalidation actually churns under eligibility-gated policies.
     assert any(r["stale_pops"] > 0 for r in rows.values())
+    # Churn pins.  Conservation: every stale pop removes an entry some
+    # push added, so stale pops can never outnumber pushes.  And the
+    # stagger-aware 2DFQ family is bounded by the index structure: one
+    # touch pushes one entry into each auxiliary heap (finish, start)
+    # and the top eligibility gate, and each of the <= threads-1
+    # downward gate migrations adds <= 2 pushes (ready + cascade), so
+    # pushes/touch <= 3 + 2*(threads-1) = 2*threads + 1.  Eager
+    # per-touch reinsertion into every gate had no such bound -- it
+    # scaled with the gate count times the re-touch rate, an order of
+    # magnitude above this on the same workload.
+    assert all(r["stale_pops"] <= r["heap_pushes"] for r in rows.values())
+    for name in ("2dfq", "2dfq-e"):
+        for tenants in (1000, 10000):
+            if (name, tenants) in rows:
+                row = rows[(name, tenants)]
+                bound = (2 * row["threads"] + 1) * row["index_touches"]
+                assert row["heap_pushes"] <= bound, (
+                    f"{name} ladder churn exceeded the depth bound at "
+                    f"{tenants} tenants: {row}"
+                )
+    # Adaptive-crossover provenance is sane: thresholds configured with
+    # a hysteresis band, and the index wins somewhere inside the sweep,
+    # within the 2x band the activation threshold was chosen from.
+    for name, sweep in crossover.items():
+        assert sweep["auto_high"] > sweep["auto_low"] > 0
+        if not reduced:
+            assert sweep["crossover_tenants"] is not None, sweep
+            assert sweep["crossover_tenants"] <= 2 * sweep["auto_high"], sweep
+    # Batch dispatch measured every requested size and stayed within
+    # sane bounds (it is the same per-request work, so a batched cycle
+    # can neither collapse nor implausibly inflate throughput).
+    assert [r["batch_size"] for r in batch["rows"]] == [1, 2, 4, 8]
+    for row in batch["rows"]:
+        assert row["rps"] > 0, row
+        assert 0.5 <= row["ratio"] <= 2.0, row
     # Observability acceptance bar: with no tracer attached the
     # instrumentation must cost < 5% median throughput vs the committed
     # baseline (only enforced against a same-host, same-ops baseline).

@@ -17,6 +17,9 @@ RPR020 scheduler-surface     conformance: registered schedulers implement
                              cancel surface
 RPR021 tracer-pairing        conformance: overridden state-mutating hooks
                              keep emitting their paired obs event
+RPR022 index-surface         conformance: ``_index_spec`` overrides are
+                             paired with a concrete ``_select_indexed``;
+                             ``dequeue`` overrides with ``dequeue_batch``
 RPR030 runtime-assert        sim-purity: no ``assert`` for runtime
                              invariants (stripped under ``python -O``)
 RPR090 parse-error           file could not be parsed (engine built-in)
@@ -28,7 +31,7 @@ from __future__ import annotations
 from typing import Dict, List, Type
 
 from ..base import Rule
-from .conformance import SchedulerSurfaceRule, TracerPairingRule
+from .conformance import IndexSurfaceRule, SchedulerSurfaceRule, TracerPairingRule
 from .determinism import UnseededRngRule, WallClockRule
 from .hygiene import FloatEqualityRule, FrozenRequestFieldRule, UnorderedIterationRule
 from .purity import RuntimeAssertRule
@@ -43,6 +46,7 @@ __all__ = [
     "UnorderedIterationRule",
     "SchedulerSurfaceRule",
     "TracerPairingRule",
+    "IndexSurfaceRule",
     "RuntimeAssertRule",
 ]
 
@@ -55,6 +59,7 @@ ALL_RULES: List[Type[Rule]] = [
     UnorderedIterationRule,
     SchedulerSurfaceRule,
     TracerPairingRule,
+    IndexSurfaceRule,
     RuntimeAssertRule,
 ]
 

@@ -10,41 +10,64 @@ concurrently backlogged tenants; §4 notes tag-based schedulers admit
 O(log N) implementations with ordered structures).
 
 :class:`SelectionIndex` maintains the same orderings in binary heaps
-with *lazy invalidation*:
+with *lazy invalidation* and *deferred maintenance*:
 
 * every heap entry snapshots a tenant's selection key -- ``(finish tag,
   head estimate, head seqno)`` or ``(start tag, head estimate, head
   seqno)`` -- together with the tenant's ``sel_version`` at push time;
 * whenever a tenant's key may have changed (new head request, start-tag
-  movement, estimator update) the scheduler calls :meth:`touch`, which
-  bumps ``sel_version`` and pushes fresh entries; superseded entries
-  stay in the heaps and are discarded when they surface at the top;
+  movement, estimator update) the scheduler calls :meth:`touch`.  A
+  touch is O(1): it bumps ``sel_version`` and appends the tenant to a
+  shared *dirty log* -- no heap is pushed yet.  Each maintained
+  structure keeps a cursor into that log and syncs lazily, at its next
+  query; log records superseded by a newer touch of the same tenant are
+  skipped entirely, so back-to-back touches in one dispatch cycle
+  (dequeue charge + completion reconciliation) coalesce into a single
+  heap push per structure;
+* superseded entries already in a heap stay there and are discarded
+  when they surface at the top (classic lazy invalidation);
 * when a tenant leaves the backlog the scheduler calls :meth:`drop`,
   which only bumps the version -- O(1), no heap surgery.
 
-Eligibility-gated policies (WF2Q, MSF2Q, 2DFQ) use a classic two-heap
-arrangement per *stagger offset*: a ``pending`` heap ordered by the
-staggered start tag ``S_f - stagger * l_head`` and a ``ready`` heap
-ordered by the finish tag.  Because system virtual time never moves
-backwards, the eligibility threshold passed to
-:meth:`min_eligible_finish` is non-decreasing per stagger slot, so
-entries migrate from pending to ready exactly once.  2DFQ keeps one
-pending/ready pair per worker thread (stagger ``i / n``), making its
-dequeue O(log N) amortized per thread at the price of O(n) heap pushes
-per touch -- a win whenever N >> n, which is the production regime.
+Eligibility-gated policies (WF2Q, MSF2Q, 2DFQ) use pending/ready heap
+pairs per *stagger offset*, organised as a **gate chain**: because the
+stagger offsets are sorted ascending, the staggered start tag ``e_j(f)
+= S_f - staggers[j] * l_head`` is non-increasing in the slot index, so
+eligibility is *nested* -- a tenant eligible on slot ``i`` is eligible
+on every slot ``j >= i``.  A touched tenant is therefore pushed into
+the *top* pending heap only (one push, not one per slot); when a query
+for slot ``i`` arrives, gates ``m-1 .. i`` are drained in descending
+order with the query threshold, migrating entries into ``ready[j]``
+(keyed by finish tag) and cascading them into ``pending[j-1]``.  Any
+entry with ``e_i <= threshold`` passes every intermediate gate (its
+keys there are ``e_j <= e_i``), so ``ready[i]`` always holds exactly
+the slot-``i`` eligibility set -- and in the common regime where a
+tenant is re-touched before virtual time reaches its lower slots, the
+cascade never runs and the per-touch cost stays at one push.  2DFQ's
+per-touch cost drops from ``n + 1`` heap pushes under the PR-1 eager
+design to ~1 amortized, which is where the churn reduction in
+``BENCH_schedulers.json`` (stale_pops / heap_pushes) comes from.
+
+Because system virtual time never moves backwards, the eligibility
+threshold passed to :meth:`min_eligible_finish` is non-decreasing, so
+entries migrate through each gate exactly once per version.
 
 Contract with cost estimators
 -----------------------------
-Keys are snapshotted at :meth:`touch` time, so the index is only
-coherent if a queued request's estimate can change *solely* through
-``observe()`` calls for the same tenant (estimators key their state on
-``(tenant_id, api)``; see :mod:`repro.estimation.base`).  Every
-estimator in this library satisfies that; a custom estimator whose
-estimates drift spontaneously must run with ``indexed=False``.
+Keys are snapshotted when a dirty-log record is first synced, so the
+index is only coherent if a queued request's estimate can change
+*solely* through ``observe()`` calls for the same tenant (estimators
+key their state on ``(tenant_id, api)``; see
+:mod:`repro.estimation.base`) -- every such change site in
+:mod:`repro.core.vt_base` pairs with a :meth:`touch`, which supersedes
+the memoized snapshot.  Every estimator in this library satisfies
+that; a custom estimator whose estimates drift spontaneously must run
+with ``indexed=False``.
 
-The per-tenant entry is also a *head-estimate cache*: the estimate is
-computed once per touch and reused for every heap the index maintains,
-instead of once per candidate per dequeue as in the linear scans.
+The per-record snapshot is also a *head-estimate cache*: the estimate
+is computed once per effective touch and reused by every structure
+that syncs the record, instead of once per candidate per dequeue as in
+the linear scans.
 """
 
 from __future__ import annotations
@@ -60,18 +83,30 @@ __all__ = ["SelectionIndex"]
 
 #: One lazy-invalidation heap entry.  The *prefix* is the policy's sort
 #: key -- ``(finish, estimate, seqno)`` for the finish heap, ``(start,
-#: estimate, seqno)`` for the start heap, ``(staggered start, finish,
-#: estimate, seqno)`` for a pending heap -- and every entry ends with
-#: the fixed ``(..., sel_version, state)`` suffix the invalidation
+#: estimate, seqno)`` for the start heap, ``(staggered start, start,
+#: finish, estimate, seqno)`` for a pending heap -- and every entry ends
+#: with the fixed ``(..., sel_version, state)`` suffix the invalidation
 #: machinery reads via ``entry[-2]`` / ``entry[-1]``.  Entries are plain
 #: tuples (not objects) because heapq compares them lexicographically on
-#: the hot path; the suffix accessors below recover the typed fields.
+#: the hot path; ``seqno`` (unique per head request) and the version
+#: break every tie before the non-comparable ``state`` is reached.
 _HeapEntry = Tuple[Union[float, int, "TenantState"], ...]
+
+#: One dirty-log record: ``[state, version, snapshot]`` where
+#: ``snapshot`` is ``None`` until the first structure to sync the record
+#: memoizes ``(start, finish, estimate, seqno)``.
+_LogRecord = List[object]
 
 #: Heaps are compacted (stale entries filtered out, then re-heapified)
 #: once they grow past ``max(_COMPACT_MIN, 2 * live_entries)``; amortized
 #: O(1) per push, and it bounds memory at O(backlogged tenants) per heap.
 _COMPACT_MIN = 128
+
+#: The dirty log is flushed into every structure (and cleared) once it
+#: grows past ``max(_LOG_COMPACT_MIN, 4 * records flushed last time)``,
+#: bounding its memory at O(backlogged tenants) between rarely-queried
+#: structures' syncs.
+_LOG_COMPACT_MIN = 256
 
 
 class SelectionIndex:
@@ -80,8 +115,8 @@ class SelectionIndex:
     Parameters
     ----------
     estimator:
-        The scheduler's cost estimator; consulted once per :meth:`touch`
-        to snapshot the head estimate.
+        The scheduler's cost estimator; consulted once per effective
+        :meth:`touch` to snapshot the head estimate.
     finish:
         Maintain a global min-finish-tag heap (WFQ selection and the
         default work-conserving fallback).
@@ -92,7 +127,8 @@ class SelectionIndex:
         One eligibility pending/ready heap pair per entry; entry ``j``
         gates on ``S_f - staggers[j] * l_head <= threshold``.  WF2Q-style
         policies pass ``(0.0,)``; 2DFQ passes ``(i / n for i in
-        range(n))``.
+        range(n))``.  Must be sorted ascending -- the gate chain relies
+        on the nested-eligibility property that implies.
     """
 
     __slots__ = (
@@ -104,10 +140,15 @@ class SelectionIndex:
         "_pending",
         "_ready",
         "_staggers",
+        "_log",
+        "_log_limit",
+        "_cursor_finish",
+        "_cursor_start",
+        "_cursor_ladder",
         "stale_pops",
         "rebuilds",
         "pushes",
-        "_pushes_per_touch",
+        "touches",
     )
 
     def __init__(
@@ -123,28 +164,39 @@ class SelectionIndex:
         self._finish_heap = self._new_heap() if finish else -1
         self._start_heap = self._new_heap() if start else -1
         self._staggers: Tuple[float, ...] = tuple(staggers)
+        if any(
+            a > b for a, b in zip(self._staggers, self._staggers[1:])
+        ):
+            raise SchedulerError(
+                "stagger offsets must be sorted ascending (the gate "
+                f"chain relies on nested eligibility): {self._staggers}"
+            )
         self._pending = [self._new_heap() for _ in self._staggers]
         self._ready = [self._new_heap() for _ in self._staggers]
-        # Lazy-invalidation churn counters (always on): how many
-        # superseded entries surfaced and were discarded, how many
-        # compaction rebuilds ran, and how many entries were pushed in
-        # total.  Increments are batched -- loops accumulate into locals
-        # and ``touch`` adds its per-call push count once -- so the
-        # per-operation cost stays a couple of integer adds.
+        #: Shared dirty log of deferred touches plus one cursor per
+        #: maintained structure (the ladder counts as one structure: its
+        #: single entry point is the top pending heap).
+        self._log: List[_LogRecord] = []
+        self._log_limit = _LOG_COMPACT_MIN
+        self._cursor_finish = 0
+        self._cursor_start = 0
+        self._cursor_ladder = 0
+        # Churn counters (always on): superseded entries discarded at a
+        # heap top, compaction rebuilds, entries pushed, and touches
+        # received.  pushes/touches is the coalescing ratio the perf
+        # benches pin.
         self.stale_pops = 0
         self.rebuilds = 0
         self.pushes = 0
-        self._pushes_per_touch = (
-            (1 if finish else 0) + (1 if start else 0) + len(self._staggers)
-        )
+        self.touches = 0
 
     # -- maintenance ---------------------------------------------------------
 
     def set_estimator(self, estimator: CostEstimator) -> None:
         """Swap the estimator consulted for head estimates (fault
-        injection).  Entries pushed under the old estimator carry stale
-        tags, so the owning scheduler must re-``touch`` every backlogged
-        tenant immediately after (see
+        injection).  Entries and memoized snapshots created under the old
+        estimator carry stale tags, so the owning scheduler must
+        re-``touch`` every backlogged tenant immediately after (see
         :meth:`~repro.core.vt_base.VirtualTimeScheduler.set_estimator`)."""
         self._estimator = estimator
 
@@ -154,39 +206,136 @@ class SelectionIndex:
         return len(self._heaps) - 1
 
     def touch(self, state: TenantState) -> None:
-        """Reindex a backlogged tenant after its head request, start tag,
-        or head estimate may have changed.
+        """Mark a backlogged tenant dirty after its head request, start
+        tag, or head estimate may have changed.
 
-        Bumps the tenant's ``sel_version`` (invalidating every entry
-        pushed earlier) and pushes one fresh entry per maintained heap.
+        O(1): bumps the tenant's ``sel_version`` (invalidating every
+        entry pushed earlier *and* every unsynced log record) and
+        appends a dirty-log record.  Heap pushes happen at the next
+        query of each structure, where consecutive touches of the same
+        tenant coalesce into one push.
         """
         state.sel_version += 1
-        version = state.sel_version
-        head = state.queue[0]
-        estimate = self._estimator.estimate(head)
-        if estimate < MIN_COST:
-            estimate = MIN_COST
-        start = state.start_tag
-        finish = start + estimate / state.weight
-        seqno = head.seqno
-        if self._finish_heap >= 0:
-            self._push(self._finish_heap, (finish, estimate, seqno, version, state))
-        if self._start_heap >= 0:
-            self._push(self._start_heap, (start, estimate, seqno, version, state))
-        for slot, stagger in enumerate(self._staggers):
-            self._push(
-                self._pending[slot],
-                (start - stagger * estimate, finish, estimate, seqno, version, state),
-            )
-        self.pushes += self._pushes_per_touch
+        self._log.append([state, state.sel_version, None])
+        self.touches += 1
+        if len(self._log) >= self._log_limit:
+            self._flush_log()
 
     def drop(self, state: TenantState) -> None:
         """Invalidate every entry of a tenant that left the backlog."""
         state.sel_version += 1
 
+    def _snapshot(self, record: _LogRecord) -> Tuple[float, float, float, int]:
+        """Memoized ``(start, finish, estimate, seqno)`` for a still-fresh
+        log record.  Safe to compute at any later sync: every mutation of
+        the underlying state pairs with a new touch, which supersedes
+        this record before the stale snapshot could be reused."""
+        snap = record[2]
+        if snap is None:
+            state = cast(TenantState, record[0])
+            head = state.queue[0]
+            estimate = self._estimator.estimate(head)
+            if estimate < MIN_COST:
+                estimate = MIN_COST
+            start = state.start_tag
+            snap = (start, start + estimate / state.weight, estimate, head.seqno)
+            record[2] = snap
+        return cast(Tuple[float, float, float, int], snap)
+
+    def _sync_finish(self) -> None:
+        log = self._log
+        end = len(log)
+        i = self._cursor_finish
+        if i == end:
+            return
+        self._cursor_finish = end
+        heap_id = self._finish_heap
+        while i < end:
+            record = log[i]
+            i += 1
+            state = cast(TenantState, record[0])
+            if record[1] != state.sel_version:
+                continue  # superseded by a later touch (or dropped)
+            start, finish, estimate, seqno = self._snapshot(record)
+            self._push(heap_id, (finish, estimate, seqno, record[1], state))
+
+    def _sync_start(self) -> None:
+        log = self._log
+        end = len(log)
+        i = self._cursor_start
+        if i == end:
+            return
+        self._cursor_start = end
+        heap_id = self._start_heap
+        while i < end:
+            record = log[i]
+            i += 1
+            state = cast(TenantState, record[0])
+            if record[1] != state.sel_version:
+                continue
+            start, finish, estimate, seqno = self._snapshot(record)
+            self._push(heap_id, (start, estimate, seqno, record[1], state))
+
+    def _sync_ladder(self) -> None:
+        """Feed fresh dirty records into the gate chain's single entry
+        point: the top pending heap (largest stagger offset)."""
+        log = self._log
+        end = len(log)
+        i = self._cursor_ladder
+        if i == end:
+            return
+        self._cursor_ladder = end
+        top = len(self._staggers) - 1
+        heap_id = self._pending[top]
+        stagger = self._staggers[top]
+        while i < end:
+            record = log[i]
+            i += 1
+            state = cast(TenantState, record[0])
+            if record[1] != state.sel_version:
+                continue
+            start, finish, estimate, seqno = self._snapshot(record)
+            self._push(
+                heap_id,
+                (
+                    start - stagger * estimate,
+                    start,
+                    finish,
+                    estimate,
+                    seqno,
+                    record[1],
+                    state,
+                ),
+            )
+
+    def _flush_log(self) -> None:
+        """Sync every structure to the end of the log, then clear it.
+
+        Bounds log memory; rarely-queried structures (e.g. the finish
+        heap of a policy whose fallback never fires) would otherwise pin
+        the log forever.  The next limit adapts to the number of records
+        a flush interval accumulates."""
+        if self._finish_heap >= 0:
+            self._sync_finish()
+        if self._start_heap >= 0:
+            self._sync_start()
+        if self._staggers:
+            self._sync_ladder()
+        live = sum(
+            1
+            for rec in self._log
+            if rec[1] == cast(TenantState, rec[0]).sel_version
+        )
+        self._log_limit = max(_LOG_COMPACT_MIN, 4 * live)
+        self._log.clear()
+        self._cursor_finish = 0
+        self._cursor_start = 0
+        self._cursor_ladder = 0
+
     def _push(self, heap_id: int, entry: _HeapEntry) -> None:
         heap = self._heaps[heap_id]
         heapq.heappush(heap, entry)
+        self.pushes += 1
         if len(heap) >= self._limits[heap_id]:
             # The suffix layout is fixed: entry[-2] is the sel_version
             # snapshot, entry[-1] the TenantState (see _HeapEntry).
@@ -225,6 +374,7 @@ class SelectionIndex:
         estimate, head seqno)`` key -- the WFQ decision."""
         if self._finish_heap < 0:
             raise SchedulerError("selection index was built without a finish heap")
+        self._sync_finish()
         entry = self._peek(self._finish_heap)
         return cast(TenantState, entry[-1]) if entry is not None else None
 
@@ -233,6 +383,7 @@ class SelectionIndex:
         estimate, head seqno)`` key -- the SFQ decision."""
         if self._start_heap < 0:
             raise SchedulerError("selection index was built without a start heap")
+        self._sync_start()
         entry = self._peek(self._start_heap)
         return cast(TenantState, entry[-1]) if entry is not None else None
 
@@ -241,6 +392,7 @@ class SelectionIndex:
         lower bound), or ``None`` when the backlog is empty."""
         if self._start_heap < 0:
             raise SchedulerError("selection index was built without a start heap")
+        self._sync_start()
         entry = self._peek(self._start_heap)
         return cast(float, entry[0]) if entry is not None else None
 
@@ -250,33 +402,61 @@ class SelectionIndex:
         """Smallest-finish-tag tenant whose staggered start tag is within
         ``threshold`` for stagger slot ``slot``.
 
-        ``threshold`` must be non-decreasing across calls for a given
-        slot (system virtual time never moves backwards), which is what
-        lets eligible entries migrate to the ready heap exactly once.
+        ``threshold`` must be non-decreasing across calls (system virtual
+        time never moves backwards), which is what lets entries migrate
+        through each gate exactly once.  Gates are drained from the top
+        stagger down to ``slot``; an entry with ``e_slot <= threshold``
+        has ``e_j <= e_slot <= threshold`` at every intermediate gate
+        (staggers ascending, estimates positive), so after the drain
+        ``ready[slot]`` holds the full slot eligibility set.
         """
-        pending = self._heaps[self._pending[slot]]
-        ready_id = self._ready[slot]
+        self._sync_ladder()
+        heaps = self._heaps
+        staggers = self._staggers
+        pending_ids = self._pending
+        ready_ids = self._ready
         stale = 0
-        moved = 0
-        while pending:
-            entry = pending[0]
-            # Hot path: positional suffix reads, as in _peek.
-            if entry[-2] != entry[-1].sel_version:  # type: ignore[union-attr]
-                heapq.heappop(pending)
-                stale += 1
+        for j in range(len(staggers) - 1, slot - 1, -1):
+            pending = heaps[pending_ids[j]]
+            if not pending:
                 continue
-            if entry[0] <= threshold:  # type: ignore[operator]
+            ready_id = ready_ids[j]
+            # An entry leaving pending[j] must ALWAYS seed pending[j-1]
+            # (not only when the query slot lies below j): a later query
+            # for a lower slot drains the lower gates and would never
+            # see a tenant this query consumed from gate j.
+            cascade = j > 0
+            if cascade:
+                next_stagger = staggers[j - 1]
+                next_id = pending_ids[j - 1]
+            while pending:
+                entry = pending[0]
+                # Key check first: when the top key is beyond the
+                # threshold nothing can migrate, fresh or stale (a stale
+                # top parked out there is swept up by compaction or once
+                # the threshold reaches it).  Hot path: positional
+                # suffix reads, as in _peek.
+                if entry[0] > threshold:  # type: ignore[operator]
+                    break
+                if entry[-2] != entry[-1].sel_version:  # type: ignore[union-attr]
+                    heapq.heappop(pending)
+                    stale += 1
+                    continue
                 heapq.heappop(pending)
-                # Re-key from staggered start to finish tag.
-                self._push(ready_id, entry[1:])
-                moved += 1
-                continue
-            break
+                # Re-key from staggered start to finish tag; the ready
+                # entry drops the (staggered start, start) prefix.
+                self._push(ready_id, entry[2:])
+                if cascade:
+                    # entry = (e_j, start, finish, estimate, seqno, v, state)
+                    start = cast(float, entry[1])
+                    estimate = cast(float, entry[3])
+                    self._push(
+                        next_id,
+                        (start - next_stagger * estimate,) + entry[1:],
+                    )
         if stale:
             self.stale_pops += stale
-        if moved:
-            self.pushes += moved
-        top = self._peek(ready_id)
+        top = self._peek(ready_ids[slot])
         return cast(TenantState, top[-1]) if top is not None else None
 
     # -- introspection -------------------------------------------------------
@@ -286,12 +466,14 @@ class SelectionIndex:
         return self._staggers
 
     def stats(self) -> Dict[str, int]:
-        """Lazy-invalidation churn counters plus current live occupancy.
+        """Churn counters plus current live occupancy.
 
         ``stale_pops`` counts superseded entries discarded at a heap top,
         ``rebuilds`` the compaction passes, ``pushes`` the entries ever
-        pushed; ``entries`` is the summed current heap occupancy (live
-        plus not-yet-surfaced stale).  Surfaced per benchmark cell in
+        pushed, ``touches`` the touch calls received (pushes/touches is
+        the deferred-maintenance coalescing ratio); ``entries`` is the
+        summed current heap occupancy (live plus not-yet-surfaced stale).
+        Surfaced per benchmark cell in
         ``benchmarks/results/BENCH_schedulers.json`` and in traced-run
         manifests.
         """
@@ -299,11 +481,13 @@ class SelectionIndex:
             "stale_pops": self.stale_pops,
             "rebuilds": self.rebuilds,
             "pushes": self.pushes,
+            "touches": self.touches,
             "entries": sum(len(heap) for heap in self._heaps),
         }
 
     def heap_sizes(self) -> Dict[str, int]:
-        """Current heap occupancy (monitoring and tests)."""
+        """Current heap occupancy (monitoring and tests); includes the
+        dirty log, which is bounded by the flush limit."""
         sizes: Dict[str, int] = {}
         if self._finish_heap >= 0:
             sizes["finish"] = len(self._heaps[self._finish_heap])
@@ -312,6 +496,7 @@ class SelectionIndex:
         for slot in range(len(self._staggers)):
             sizes[f"pending[{slot}]"] = len(self._heaps[self._pending[slot]])
             sizes[f"ready[{slot}]"] = len(self._heaps[self._ready[slot]])
+        sizes["log"] = len(self._log)
         return sizes
 
     def __repr__(self) -> str:

@@ -35,7 +35,7 @@ requests -- pessimism turns estimation error into spatial isolation.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
 from ..errors import SchedulerError
 from ..estimation.base import CostEstimator
@@ -150,7 +150,7 @@ class TwoDFQEScheduler(TwoDFQScheduler):
         estimator: Optional[CostEstimator] = None,
         alpha: float = 0.99,
         initial_estimate: float = 1.0,
-        indexed: bool = True,
+        indexed: Union[bool, str] = "auto",
     ) -> None:
         if estimator is None:
             estimator = PessimisticEstimator(

@@ -58,6 +58,12 @@ class ExperimentConfig:
         sketches for long runs -- DESIGN.md §13).  Part of the config,
         hence of run-cache keys: the two modes produce different result
         objects.
+    event_queue:
+        ``"heap"`` (default) or ``"calendar"`` -- the simulator's event
+        queue implementation (:mod:`repro.simulator.events`).  Pop-order
+        identical, so results do not change; the calendar queue is the
+        throughput choice once pending events reach the hundreds of
+        thousands (DESIGN.md §15).
     """
 
     name: str
@@ -75,6 +81,7 @@ class ExperimentConfig:
     fault_plan: Optional[FaultPlan] = None
     validate: bool = False
     metrics_mode: str = "exact"
+    event_queue: str = "heap"
 
     def __post_init__(self) -> None:
         if isinstance(self.fault_plan, dict):
@@ -97,6 +104,11 @@ class ExperimentConfig:
             raise ConfigurationError(
                 f"metrics_mode must be 'exact' or 'streaming', "
                 f"got {self.metrics_mode!r}"
+            )
+        if self.event_queue not in ("heap", "calendar"):
+            raise ConfigurationError(
+                f"event_queue must be 'heap' or 'calendar', "
+                f"got {self.event_queue!r}"
             )
 
     @property

@@ -1,0 +1,132 @@
+"""Event-queue throughput harness: binary heap vs calendar queue.
+
+Measures sustained pop+push cycles per second under the *hold model*
+(Vaucher & Duval 1975): the queue is pre-loaded with ``pending`` events,
+then each operation pops the earliest and pushes a replacement a random
+exponential increment later -- the steady-state access pattern of a
+long-horizon discrete-event simulation, where the pending-event count
+stays roughly constant while the time frontier advances.
+
+Both queues are driven through the exact :class:`~repro.simulator.events`
+surface the simulator uses (``push``/``pop``/handles, popped handles
+marked consumed), so the numbers translate directly to simulator
+wallclock.  The sweep spans pending-event counts from thousands (where
+the heap's constant wins) to a million (where the calendar queue's
+sequential bucket scans beat the heap's cache-hostile sift walks) --
+the fleet-scale regime the 10k-tenant experiments live in.
+
+Results land in the ``event_queue`` section of ``BENCH_manifest.json``
+via ``benchmarks/test_bench_event_queue.py``, which also gates the
+calendar queue's advantage at the top of the sweep.
+"""
+
+from __future__ import annotations
+
+import platform
+from typing import Callable, Dict, List, Sequence
+
+from ..obs.registry import Timer
+from ..simulator.events import CalendarEventQueue, EventQueue
+from ..simulator.rng import make_rng
+from .hotpath import quiesced_gc
+
+__all__ = [
+    "DEFAULT_PENDING_SIZES",
+    "measure_event_queue_throughput",
+    "format_event_queue_results",
+]
+
+#: Pending-event counts swept by default: small (heap-friendly), the
+#: crossover region, and the fleet-scale regime the calendar queue is
+#: built for.
+DEFAULT_PENDING_SIZES = (1_000, 100_000, 1_000_000)
+
+#: Queue implementations compared; mirrors ``Simulation``'s registry.
+_QUEUES: Dict[str, Callable[[], object]] = {
+    "heap": EventQueue,
+    "calendar": CalendarEventQueue,
+}
+
+
+def _noop() -> None:  # pragma: no cover - never actually fired
+    pass
+
+
+def _hold_model_rps(queue, pending: int, ops: int, seed: int, timer: Timer) -> float:
+    """Time ``ops`` hold-model cycles on a queue pre-loaded with
+    ``pending`` events; returns operations per wallclock second."""
+    rng = make_rng(seed, "eventq-hold", str(pending))
+    for time in rng.exponential(10.0, pending):
+        queue.push(float(time), _noop)
+    # Pre-drawn increments (mean 10s) reused round-robin: keeps RNG cost
+    # out of the timed region without the frontier ever catching up.
+    deltas = [float(delta) for delta in rng.exponential(10.0, 4096)]
+    push = queue.push
+    pop = queue.pop
+    with quiesced_gc(), timer:
+        for i in range(ops):
+            handle = pop()
+            time = handle.time
+            handle.cancel()  # mark consumed, as Simulation.run does
+            push(time + deltas[i & 4095], _noop)
+    return ops / timer.last if timer.last > 0 else float("inf")
+
+
+def measure_event_queue_throughput(
+    pending_sizes: Sequence[int] = DEFAULT_PENDING_SIZES,
+    ops: int = 200_000,
+    seed: int = 0,
+    repeats: int = 2,
+) -> Dict:
+    """Hold-model throughput of every queue at every pending size.
+
+    Returns a JSON-ready dict with one row per pending size carrying
+    per-queue ``rps`` (best of ``repeats``) and ``calendar_vs_heap``,
+    the throughput ratio that motivates ``ExperimentConfig.event_queue``.
+    """
+    rows: List[Dict] = []
+    for pending in pending_sizes:
+        cell: Dict = {"pending": pending, "ops": ops}
+        for queue_name, queue_cls in _QUEUES.items():
+            timer = Timer(f"eventq.{queue_name}.{pending}")
+            best = 0.0
+            for _ in range(max(1, repeats)):
+                best = max(
+                    best,
+                    _hold_model_rps(queue_cls(), pending, ops, seed, timer),
+                )
+            cell[f"{queue_name}_rps"] = round(best, 1)
+        cell["calendar_vs_heap"] = round(
+            cell["calendar_rps"] / cell["heap_rps"], 3
+        )
+        rows.append(cell)
+    return {
+        "meta": {
+            "benchmark": "event-queue-hold-model-throughput",
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "seed": seed,
+            "ops": ops,
+            "repeats": repeats,
+            "note": (
+                "rps = hold-model pop+push cycles per wallclock second "
+                "with `pending` events resident (exponential increments, "
+                "mean 10s); calendar_vs_heap = calendar_rps / heap_rps"
+            ),
+        },
+        "results": rows,
+    }
+
+
+def format_event_queue_results(payload: Dict) -> str:
+    """Render the sweep as an aligned text table."""
+    lines = [
+        f"{'pending':>10} {'heap rps':>12} {'calendar rps':>13} {'ratio':>7}"
+    ]
+    for row in payload["results"]:
+        lines.append(
+            f"{row['pending']:>10,} {row['heap_rps']:>12,.0f} "
+            f"{row['calendar_rps']:>13,.0f} "
+            f"{row['calendar_vs_heap']:>6.2f}x"
+        )
+    return "\n".join(lines)

@@ -332,14 +332,29 @@ class ThreadPoolServer:
         thread holds its request frozen until its speed recovers.
         """
         now = self.sim.now
-        for worker in self._dispatch_cycle:
-            if worker.busy or worker.crashed:
-                continue
-            if self.scheduler.backlog == 0:
-                break
-            request = self.scheduler.dequeue(worker.index, now)
-            if request is None:
-                break
+        scheduler = self.scheduler
+        if scheduler.backlog == 0:
+            return
+        idle = [
+            w for w in self._dispatch_cycle if not w.busy and not w.crashed
+        ]
+        if not idle:
+            return
+        if len(idle) == 1:
+            # Single free worker (the common steady-state case after one
+            # completion): a direct dequeue skips the batch plumbing.
+            request = scheduler.dequeue(idle[0].index, now)
+            if request is not None:
+                self._start(idle[0], request)
+            return
+        # Several workers freed at the same instant (startup, bursts,
+        # simultaneous completions): one batched call amortizes index
+        # maintenance across the selections.  dequeue_batch stops early
+        # when the backlog drains, and is request-for-request identical
+        # to sequential dequeues, so _start ordering -- and with it the
+        # completion-event seq order -- is unchanged.
+        batch = scheduler.dequeue_batch([w.index for w in idle], now)
+        for worker, request in zip(idle, batch):
             self._start(worker, request)
 
     def _start(self, worker: Worker, request: Request) -> None:

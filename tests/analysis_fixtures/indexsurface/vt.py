@@ -1,0 +1,78 @@
+"""RPR022 fixture: indexed-selection pairing below the framework root.
+
+Every ``dequeue`` override here references ``self._trace`` so the
+fixture stays silent under RPR021 -- the violations are RPR022's alone.
+"""
+
+
+class VirtualTimeScheduler:
+    """Framework root (by name): default spec off, indexed hook a stub."""
+
+    def _index_spec(self):
+        return None
+
+    def _select_indexed(self, thread_id, vnow):
+        raise NotImplementedError
+
+    def dequeue(self, thread_id, now):
+        if self._trace is not None:
+            self._trace.dispatch(now)
+        return None
+
+    def dequeue_batch(self, thread_ids, now):
+        return [self.dequeue(thread_id, now) for thread_id in thread_ids]
+
+
+class IndexedScheduler(VirtualTimeScheduler):
+    """Compliant: spec paired with a concrete indexed selection."""
+
+    def _index_spec(self):
+        return {"finish": True}
+
+    def _select_indexed(self, thread_id, vnow):
+        return None
+
+
+class InheritedIndexScheduler(IndexedScheduler):
+    """Compliant: ``_select_indexed`` found further up the base chain."""
+
+    def _index_spec(self):
+        return {"finish": True, "start": True}
+
+
+class HalfIndexedScheduler(VirtualTimeScheduler):
+    """Violation: advertises a spec, inherits only the root's stub."""
+
+    def _index_spec(self):  # line 46: RPR022 (no _select_indexed)
+        return {"finish": True}
+
+
+class CustomDequeueScheduler(VirtualTimeScheduler):
+    """Violation: new dequeue policy, stale inherited batch path."""
+
+    def dequeue(self, thread_id, now):  # line 53: RPR022 (no dequeue_batch)
+        if self._trace is not None:
+            self._trace.dispatch(now)
+        return "different policy"
+
+
+class PairedDequeueScheduler(VirtualTimeScheduler):
+    """Compliant: the dequeue override ships its batch counterpart."""
+
+    def dequeue(self, thread_id, now):
+        if self._trace is not None:
+            self._trace.dispatch(now)
+        return "policy"
+
+    def dequeue_batch(self, thread_ids, now):
+        return [self.dequeue(thread_id, now) for thread_id in thread_ids]
+
+
+class OutsideFramework:
+    """Not below the root: free to define half a surface."""
+
+    def _index_spec(self):
+        return {"finish": True}
+
+    def dequeue(self, thread_id, now):
+        return None

@@ -104,6 +104,25 @@ def test_tracer_pairing_rule() -> None:
     ]
 
 
+def test_index_surface_rule() -> None:
+    # The root, both compliant pairings (own and inherited
+    # _select_indexed, dequeue+dequeue_batch), and the class outside the
+    # framework are silent; only the two half-surfaces fire.
+    assert findings_in("indexsurface") == [
+        ("RPR022", "vt.py", 46),  # _index_spec without _select_indexed
+        ("RPR022", "vt.py", 53),  # dequeue without dequeue_batch
+    ]
+
+
+def test_index_surface_messages_name_the_missing_half() -> None:
+    result = Analyzer().run([os.path.join(FIXTURES, "indexsurface")])
+    by_line = {
+        (os.path.basename(f.path), f.line): f.message for f in result.findings
+    }
+    assert "`_select_indexed`" in by_line[("vt.py", 46)]
+    assert "`dequeue_batch`" in by_line[("vt.py", 53)]
+
+
 def test_runtime_assert_rule() -> None:
     assert findings_in("purity") == [
         ("RPR030", "asserts.py", 5),
@@ -122,6 +141,7 @@ def test_fixture_findings_are_disjoint_per_rule() -> None:
         "setiter",
         "conformance",
         "tracer",
+        "indexsurface",
         "purity",
     )
     assert sorted({code for code, _, _ in all_at_once}) == [
@@ -132,6 +152,7 @@ def test_fixture_findings_are_disjoint_per_rule() -> None:
         "RPR012",
         "RPR020",
         "RPR021",
+        "RPR022",
         "RPR030",
     ]
-    assert len(all_at_once) == 4 + 5 + 3 + 4 + 3 + 3 + 1 + 1
+    assert len(all_at_once) == 4 + 5 + 3 + 4 + 3 + 3 + 1 + 2 + 1

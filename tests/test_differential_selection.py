@@ -220,5 +220,99 @@ class TestIndexMechanics:
         assert s.dequeue(0, 0.0).tenant_id == "B"
 
     def test_indexed_flag_default_and_off(self):
-        assert make_scheduler("wf2q", num_threads=2).indexed
-        assert not make_scheduler("wf2q", num_threads=2, indexed=False).indexed
+        # Default is adaptive: the index only materializes once the
+        # backlog crosses AUTO_INDEX_HIGH.
+        auto = make_scheduler("wf2q", num_threads=2)
+        assert auto.selection_mode == "auto"
+        assert not auto.indexed
+        forced = make_scheduler("wf2q", num_threads=2, indexed=True)
+        assert forced.selection_mode == "indexed"
+        assert forced.indexed
+        linear = make_scheduler("wf2q", num_threads=2, indexed=False)
+        assert linear.selection_mode == "linear"
+        assert not linear.indexed
+
+
+def ramped_trace(seed, num_tenants=40, bursts=2, per_burst=80):
+    """Bursty trace engineered to cross both adaptive thresholds: each
+    burst backs up every tenant at once (backlog >> AUTO_INDEX_HIGH),
+    then a long silence lets the pool drain below AUTO_INDEX_LOW."""
+    rng = make_rng(seed, "adaptive-ramp")
+    requests = []
+    now = 0.0
+    for _ in range(bursts):
+        for i in range(per_burst):
+            requests.append(
+                (
+                    now,
+                    Request(
+                        tenant_id=f"T{i % num_tenants}",
+                        cost=float(10.0 ** rng.uniform(-0.5, 1.0)),
+                        api=str(rng.choice(["A", "B"])),
+                    ),
+                )
+            )
+        now += 60.0
+    return requests
+
+
+class TestAdaptiveSelection:
+    """The ``indexed="auto"`` default: linear below the crossover, the
+    O(log N) index above, with hysteresis between the two thresholds."""
+
+    def test_activation_and_deactivation_edges(self):
+        s = make_scheduler("2dfq", num_threads=4, thread_rate=10.0)
+        high, low = type(s).AUTO_INDEX_HIGH, type(s).AUTO_INDEX_LOW
+        assert high > low > 0
+        for i in range(high - 1):
+            s.enqueue(Request(tenant_id=f"t{i}", cost=1.0), 0.0)
+        assert not s.indexed  # one short of the rising edge
+        s.enqueue(Request(tenant_id=f"t{high - 1}", cost=1.0), 0.0)
+        assert s.indexed  # exactly HIGH backlogged tenants
+        # Deeper enqueues on an existing tenant never re-test anything.
+        s.enqueue(Request(tenant_id="t0", cost=1.0), 0.0)
+        assert s.indexed
+        # Drain: hysteresis keeps the index alive until the backlog
+        # falls to LOW *at dequeue entry*.
+        now, i = 0.0, 0
+        while len(s._backlogged) > low:
+            request = s.dequeue(i % 4, now)
+            s.complete(request, request.cost, now)
+            now += 0.2
+            i += 1
+        assert s.indexed  # at LOW+0: the falling edge fires on dequeue
+        request = s.dequeue(i % 4, now)
+        s.complete(request, request.cost, now)
+        assert not s.indexed
+        assert s.selection_mode == "auto"
+        # Re-activation from scratch on the next rising edge.
+        for j in range(2 * high):
+            s.enqueue(Request(tenant_id=f"r{j}", cost=1.0), now)
+        assert s.indexed
+
+    @pytest.mark.parametrize("name", ["2dfq", "wf2q+", "2dfq-e"])
+    def test_auto_identical_across_transitions(self, name):
+        """A trace that ramps the backlog over HIGH and back under LOW
+        (twice) dispatches identically in all three selection modes --
+        and the auto run really does transition both ways."""
+        trace = ramped_trace(5)
+        orders = {}
+        transitions = []
+        for mode in (False, True, "auto"):
+            s = make_scheduler(
+                name, num_threads=4, thread_rate=10.0, indexed=mode
+            )
+            if mode == "auto":
+                real_activate = s._activate_index
+
+                def spy():
+                    transitions.append("up")
+                    real_activate()
+
+                s._activate_index = spy
+            orders[mode] = drive_trace(s, rebuild(trace), num_threads=4)
+            if mode == "auto":
+                assert not s.indexed  # drained => torn back down
+        assert orders[False] == orders[True] == orders["auto"]
+        assert len(orders[False]) == len(trace)
+        assert len(transitions) >= 2, "auto mode never activated"
