@@ -29,8 +29,11 @@ from .plan import (
     DeadlinePolicy,
     EstimatorFault,
     FaultPlan,
+    ServerCrash,
+    ServerSlowdown,
     WorkerCrash,
     WorkerSlowdown,
+    retry_delay,
 )
 
 __all__ = [
@@ -39,6 +42,9 @@ __all__ = [
     "WorkerCrash",
     "DeadlinePolicy",
     "EstimatorFault",
+    "ServerCrash",
+    "ServerSlowdown",
     "FaultInjector",
     "FaultyEstimator",
+    "retry_delay",
 ]

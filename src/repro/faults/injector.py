@@ -18,10 +18,17 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..core.request import Request, RequestPhase
+from ..errors import ConfigurationError
 from ..simulator.rng import make_rng
 from ..simulator.server import ThreadPoolServer
 from .estimator import FaultyEstimator
-from .plan import DeadlinePolicy, FaultPlan, WorkerCrash, WorkerSlowdown
+from .plan import (
+    DeadlinePolicy,
+    FaultPlan,
+    WorkerCrash,
+    WorkerSlowdown,
+    retry_delay,
+)
 
 __all__ = ["FaultInjector"]
 
@@ -58,6 +65,13 @@ class FaultInjector:
     def install(self) -> None:
         """Schedule every worker/deadline fault; idempotence is the
         caller's concern (install once per run)."""
+        if self.plan.has_fleet_faults:
+            raise ConfigurationError(
+                "fault plan contains fleet-granularity faults "
+                "(server_crashes/server_slowdowns); a single-server run "
+                "cannot execute them -- run the plan through a "
+                "repro.fleet.Fleet + FleetInjector instead"
+            )
         sim = self.server.sim
         workers = len(self.server.workers)
         for slowdown in self.plan.slowdowns:
@@ -155,8 +169,13 @@ class FaultInjector:
         attempts = self._attempts.get(request.seqno, 0)
         if attempts < policy.max_retries:
             self._attempts[request.seqno] = attempts + 1
-            delay = policy.backoff * (policy.growth ** attempts)
-            delay *= 1.0 + policy.jitter * float(self._rng.uniform(0.0, 1.0))
+            delay = retry_delay(
+                policy.backoff,
+                policy.growth,
+                policy.jitter,
+                attempts,
+                float(self._rng.uniform(0.0, 1.0)),
+            )
             self.server.sim.after(delay, self._retry, request)
         else:
             self.counts["abandoned"] += 1

@@ -29,6 +29,14 @@ Fault vocabulary:
 * :class:`EstimatorFault` -- during ``[start, end)`` the cost estimator
   suffers an outage (estimates pinned to a pessimistic fallback,
   observations lost) or a multiplicative bias.
+* :class:`ServerCrash` / :class:`ServerSlowdown` -- fleet-granularity
+  faults: an entire :class:`~repro.simulator.server.ThreadPoolServer`
+  in a :class:`~repro.fleet.Fleet` dies (optionally restarting) or runs
+  degraded during a window.  Only the fleet-level injector
+  (:class:`~repro.fleet.FleetInjector`) can execute these; the
+  single-server :class:`~repro.faults.injector.FaultInjector` rejects
+  plans containing them instead of silently ignoring a whole fault
+  tier.
 """
 
 from __future__ import annotations
@@ -46,8 +54,27 @@ __all__ = [
     "WorkerCrash",
     "DeadlinePolicy",
     "EstimatorFault",
+    "ServerCrash",
+    "ServerSlowdown",
     "FaultPlan",
+    "retry_delay",
 ]
+
+
+def retry_delay(
+    backoff: float, growth: float, jitter: float, attempt: int, u: float
+) -> float:
+    """Exponential-backoff retry delay with bounded jitter.
+
+    ``backoff * growth**attempt`` stretched by up to ``jitter`` via the
+    caller-supplied uniform draw ``u`` in ``[0, 1)`` (seeded upstream,
+    so the delay is deterministic per run).  This single formula is the
+    client backoff of :class:`DeadlinePolicy` *and* the failover
+    re-route backoff of :class:`repro.fleet.FailoverPolicy` -- sharing
+    it keeps the two retry tiers comparable in figures.
+    """
+    delay = backoff * (growth ** attempt)
+    return delay * (1.0 + jitter * u)
 
 
 def _check_window(start: float, end: float, what: str) -> None:
@@ -193,11 +220,72 @@ class EstimatorFault:
         return self.start <= now < self.end
 
 
+@dataclass(frozen=True)
+class ServerCrash:
+    """Server ``server`` of a fleet dies at ``at``; optionally restarts.
+
+    A crashed server freezes: every worker stops (in-flight requests
+    hold their progress but never advance) and dispatch halts.  What
+    happens next is the fleet's failover policy's business -- with
+    failover enabled the health monitor detects the death and drains
+    the dead server's queued + in-flight requests through the
+    exact-refund ``cancel()`` path, re-routing them to survivors; with
+    failover disabled the requests stay stuck (the degradation the
+    ``figfleet`` figure contrasts).  ``restart_at`` brings the server
+    back; a drained server restarts empty, an undrained one resumes
+    its frozen requests.
+    """
+
+    server: int
+    at: float
+    restart_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.server < 0:
+            raise ConfigurationError(
+                f"server index must be >= 0, got {self.server}"
+            )
+        if self.at < 0:
+            raise ConfigurationError(f"crash time must be >= 0, got {self.at}")
+        if self.restart_at is not None and self.restart_at <= self.at:
+            raise ConfigurationError(
+                f"restart_at must be after the crash, "
+                f"got {self.restart_at} <= {self.at}"
+            )
+
+
+@dataclass(frozen=True)
+class ServerSlowdown:
+    """Server ``server`` runs every worker at ``factor`` x nominal rate
+    in ``[start, end)`` -- a degraded-but-alive machine (thermal
+    throttling, a noisy neighbour), not a dead one.  ``factor = 0.0``
+    stalls the whole server; unlike :class:`ServerCrash` it stays
+    routable, so the figure for it shows queueing, not loss."""
+
+    server: int
+    start: float
+    end: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.server < 0:
+            raise ConfigurationError(
+                f"server index must be >= 0, got {self.server}"
+            )
+        _check_window(self.start, self.end, "server slowdown")
+        if self.factor < 0:
+            raise ConfigurationError(
+                f"slowdown factor must be >= 0, got {self.factor}"
+            )
+
+
 _KIND_CLASSES = {
     "slowdowns": WorkerSlowdown,
     "crashes": WorkerCrash,
     "deadlines": DeadlinePolicy,
     "estimator_faults": EstimatorFault,
+    "server_crashes": ServerCrash,
+    "server_slowdowns": ServerSlowdown,
 }
 
 
@@ -214,6 +302,8 @@ class FaultPlan:
     crashes: Tuple[WorkerCrash, ...] = ()
     deadlines: Tuple[DeadlinePolicy, ...] = ()
     estimator_faults: Tuple[EstimatorFault, ...] = ()
+    server_crashes: Tuple[ServerCrash, ...] = ()
+    server_slowdowns: Tuple[ServerSlowdown, ...] = ()
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -232,8 +322,19 @@ class FaultPlan:
     @property
     def is_empty(self) -> bool:
         return not (
-            self.slowdowns or self.crashes or self.deadlines or self.estimator_faults
+            self.slowdowns
+            or self.crashes
+            or self.deadlines
+            or self.estimator_faults
+            or self.server_crashes
+            or self.server_slowdowns
         )
+
+    @property
+    def has_fleet_faults(self) -> bool:
+        """True when the plan contains fleet-granularity faults, which
+        only :class:`repro.fleet.FleetInjector` can execute."""
+        return bool(self.server_crashes or self.server_slowdowns)
 
     def policy_for(self, tenant_id: str) -> Optional[DeadlinePolicy]:
         """The first deadline policy applying to ``tenant_id``."""

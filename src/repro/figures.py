@@ -43,6 +43,14 @@ overrides it)::
     python -m repro.figures figfault --validate
     python -m repro.figures fig08 --faults chaos.json
 
+``figfleet`` runs a routed multi-server fleet (:mod:`repro.fleet`)
+instead of one server: cluster fairness under a mid-run server crash,
+healthy vs unprotected vs crash-failover, plus a sharding-policy
+ablation.  ``--servers N`` and ``--router POLICY`` shape the fleet; a
+``--faults`` plan with ``server_crashes`` overrides the canned crash::
+
+    python -m repro.figures figfleet --servers 4 --router tenant-hash
+
 Figure ids match the paper's evaluation figures; see DESIGN.md for the
 index and EXPERIMENTS.md for expected shapes.
 """
@@ -66,6 +74,8 @@ from .experiments.degradation import (
     degradation_config,
     run_degradation,
 )
+from .experiments.fleet import PROBE_TENANT, run_figfleet
+from .fleet import router_names
 from .experiments.expensive_requests import (
     SMALL_PROBE,
     expensive_requests_config,
@@ -242,6 +252,43 @@ def figfault(args: argparse.Namespace) -> str:
     return text
 
 
+def figfleet(args: argparse.Namespace) -> str:
+    plan = getattr(args, "fault_plan_obj", None)
+    result = run_figfleet(
+        num_servers=args.servers,
+        router=args.router,
+        duration=args.duration,
+        plan=plan,
+        validate=bool(getattr(args, "validate", False)),
+    )
+    text = (
+        f"cluster fairness under a mid-run server crash "
+        f"({args.servers} servers, router={args.router}):\n"
+    )
+    text += format_table(
+        [
+            "mode",
+            "worst survivor |lag| [s]",
+            f"sigma({PROBE_TENANT} lag) [s]",
+            "completed",
+            "failover retries",
+            "abandoned",
+        ],
+        result.rows(),
+    )
+    text += "\n\nsharding-policy ablation (crash + failover):\n"
+    text += format_table(
+        ["router", "worst survivor |lag| [s]", "completed", "rejected"],
+        result.ablation_rows(),
+    )
+    plan = result.plan
+    text += (
+        f"\n\nfault plan: {len(plan.server_crashes)} server crash(es), "
+        f"{len(plan.server_slowdowns)} server slowdown(s), seed {plan.seed}"
+    )
+    return text
+
+
 FIGURES: Dict[str, Callable[[argparse.Namespace], str]] = {
     "fig01": fig01,
     "fig05": fig05,
@@ -250,6 +297,7 @@ FIGURES: Dict[str, Callable[[argparse.Namespace], str]] = {
     "fig09": fig09,
     "fig11": fig11,
     "figfault": figfault,
+    "figfleet": figfleet,
 }
 
 
@@ -298,6 +346,16 @@ def main(argv=None) -> int:
         "--validate", action="store_true",
         help="wrap every run's scheduler in the invariant watchdog "
         "(repro.validate); violations raise with full event context",
+    )
+    parser.add_argument(
+        "--servers", type=int, default=4, metavar="N",
+        help="fleet size for figfleet (default 4)",
+    )
+    parser.add_argument(
+        "--router", default="round-robin", choices=router_names(),
+        help="fleet routing policy for figfleet's mode comparison "
+        "(default round-robin, the health-oblivious baseline; the "
+        "ablation table always sweeps every policy)",
     )
     parser.add_argument(
         "--metrics", choices=("exact", "streaming"), default="exact",

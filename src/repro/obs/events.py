@@ -50,6 +50,11 @@ Event taxonomy (the ``kind`` field; see DESIGN.md §9):
     cleared a threshold: per-tenant service lag vs the GPS reference,
     the Fig-5/9 bursty-allocation pattern, or estimator-error drift
     under 2DFQ^E.  ``data["monitor"]`` names the monitor.
+``route``
+    A fleet router (:mod:`repro.fleet`) placed -- or refused -- a
+    request: which server won, under which policy, over how many
+    healthy candidates, and whether admission control accepted it.
+    Rejections carry ``accepted=False`` plus a ``reason``.
 
 Every event also records the simulated wallclock ``t`` and the system
 virtual time ``vt`` at emission, so virtual- and wall-time views line up.
@@ -72,6 +77,7 @@ __all__ = [
     "FAULT",
     "INVARIANT",
     "AUDIT",
+    "ROUTE",
     "TraceEvent",
 ]
 
@@ -85,6 +91,7 @@ CANCEL = "cancel"
 FAULT = "fault"
 INVARIANT = "invariant"
 AUDIT = "audit"
+ROUTE = "route"
 
 #: The closed event taxonomy; exporters and tests validate against it.
 EVENT_KINDS: Tuple[str, ...] = (
@@ -98,6 +105,7 @@ EVENT_KINDS: Tuple[str, ...] = (
     FAULT,
     INVARIANT,
     AUDIT,
+    ROUTE,
 )
 
 

@@ -40,6 +40,7 @@ from .events import (
     ESTIMATE,
     FAULT,
     INVARIANT,
+    ROUTE,
     SELECT,
     VT_UPDATE,
     TraceEvent,
@@ -336,6 +337,39 @@ class Tracer:
                 {"api": api, "old": old, "new": new, "actual": actual},
             )
         )
+
+    def route(
+        self,
+        t: float,
+        tenant: str,
+        *,
+        seqno: int,
+        server: Optional[int],
+        policy: str,
+        healthy: int,
+        backlog: int,
+        accepted: bool,
+        reason: Optional[str] = None,
+    ) -> None:
+        """One fleet routing decision: request ``seqno`` placed on
+        ``server`` (or refused -- ``accepted=False`` with a ``reason``
+        and ``server=None``) by router ``policy`` choosing among
+        ``healthy`` routable servers with ``backlog`` requests queued
+        fleet-wide at decision time."""
+        self.registry.counter("fleet.route_decisions").inc()
+        if not accepted:
+            self.registry.counter("fleet.rejections").inc()
+        data = {
+            "seqno": seqno,
+            "server": server,
+            "policy": policy,
+            "healthy": healthy,
+            "backlog": backlog,
+            "accepted": accepted,
+        }
+        if reason is not None:
+            data["reason"] = reason
+        self.emit(TraceEvent(ROUTE, t, None, tenant, data))
 
     def audit(
         self,

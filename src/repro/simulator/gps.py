@@ -179,6 +179,23 @@ class GPSReference:
         if self._stale_entries > self._purge_threshold and self._stale_entries > live:
             self._compact()
 
+    def set_capacity(self, capacity: float, now: float) -> None:
+        """Change the fluid server's rate from wallclock ``now`` on.
+
+        The fleet-wide GPS reference calls this when the healthy
+        capacity changes (a server crash is detected, or a crashed
+        server comes back).  The system is first advanced to ``now`` at
+        the old rate, then the new rate takes over -- exact, because a
+        flow's virtual emptying time ``E_f = V + b / phi_f`` does not
+        depend on capacity (capacity only sets the wallclock *speed* of
+        virtual time, ``dt = dv * Phi / C``), so pending drains keep
+        their virtual schedule and simply play out faster or slower.
+        """
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        self.advance(now)
+        self._capacity = float(capacity)
+
     def advance(self, to_time: float) -> None:
         """Evolve the fluid system to wallclock ``to_time``."""
         if to_time < self._wallclock - 1e-12:

@@ -150,6 +150,7 @@ class ThreadPoolServer:
         self._complete_listeners: List[RequestListener] = []
         self._completed_cost: dict[str, float] = {}
         self._completed_requests = 0
+        self._crashed = False
 
     # -- listeners --------------------------------------------------------------
 
@@ -294,6 +295,43 @@ class ThreadPoolServer:
         worker = self.workers[index]
         worker.crashed = False
         worker.speed = 1.0
+        self._dispatch_idle()
+        self._ensure_refresh_timer()
+
+    @property
+    def crashed(self) -> bool:
+        """True between :meth:`crash` and :meth:`restore` -- the whole
+        process is down, as opposed to individual crashed workers."""
+        return self._crashed
+
+    def crash(self) -> None:
+        """Kill the whole server process.
+
+        Every worker freezes where it stands: usage reported so far
+        stays charged (flushed at the old speed through the
+        ``set_worker_speed`` path), in-flight progress is retained but
+        never advances, and dispatch halts until :meth:`restore`.  The
+        scheduler's queue is deliberately *not* touched -- whether the
+        stranded requests are drained to surviving servers (exact-refund
+        ``cancel()`` + re-route) or left stuck is the fleet failover
+        policy's decision, not the server's.
+        """
+        for worker in self.workers:
+            self.set_worker_speed(worker.index, 0.0)
+            worker.crashed = True
+        self._crashed = True
+
+    def restore(self) -> None:
+        """Bring a crashed server back at full speed.
+
+        Frozen in-flight requests resume from their retained progress
+        (a drained server comes back empty, so there is nothing to
+        resume) and idle workers are offered the backlog.
+        """
+        self._crashed = False
+        for worker in self.workers:
+            worker.crashed = False
+            self.set_worker_speed(worker.index, 1.0)
         self._dispatch_idle()
         self._ensure_refresh_timer()
 

@@ -18,18 +18,33 @@ can notify them of completions in O(1) without a global fan-out.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Optional, Tuple
+from typing import Callable, Iterable, Iterator, Optional, Protocol, Tuple
 
 from ..core.request import Request
 from ..errors import ConfigurationError
-from .server import ThreadPoolServer
+from .clock import Simulation
 
 __all__ = [
+    "SubmitTarget",
     "Source",
     "TraceSource",
     "BackloggedSource",
     "ArrivalProcessSource",
 ]
+
+
+class SubmitTarget(Protocol):
+    """Anything a source can submit requests to.
+
+    :class:`~repro.simulator.server.ThreadPoolServer` is the canonical
+    implementation; :class:`repro.fleet.Fleet` satisfies the same
+    protocol, so every source in this module drives a single server and
+    a routed fleet identically.
+    """
+
+    sim: Simulation
+
+    def submit(self, request: Request) -> None: ...
 
 #: A sampler returns (api, cost) for the next request of a tenant.
 RequestSampler = Callable[[], Tuple[str, float]]
@@ -40,7 +55,7 @@ GapSampler = Callable[[], float]
 class Source:
     """Base class wiring a source to its server."""
 
-    def __init__(self, server: ThreadPoolServer) -> None:
+    def __init__(self, server: SubmitTarget) -> None:
         self.server = server
         self.submitted = 0
 
@@ -82,7 +97,7 @@ class TraceSource(Source):
 
     def __init__(
         self,
-        server: ThreadPoolServer,
+        server: SubmitTarget,
         records: Iterable[Tuple[float, str, str, float]],
         speed: float = 1.0,
         weight: float = 1.0,
@@ -137,7 +152,7 @@ class BackloggedSource(Source):
 
     def __init__(
         self,
-        server: ThreadPoolServer,
+        server: SubmitTarget,
         tenant_id: str,
         sampler: RequestSampler,
         window: int = 4,
@@ -190,7 +205,7 @@ class ArrivalProcessSource(Source):
 
     def __init__(
         self,
-        server: ThreadPoolServer,
+        server: SubmitTarget,
         tenant_id: str,
         gap_sampler: GapSampler,
         sampler: RequestSampler,

@@ -11,6 +11,7 @@ with ``REPRO_VALIDATE=1`` (the CI chaos job), or per CLI invocation
 with ``python -m repro.figures ... --validate``.
 """
 
+from .fleet import FleetConservationLedger
 from .watchdog import ValidatingScheduler, env_validate
 
-__all__ = ["ValidatingScheduler", "env_validate"]
+__all__ = ["FleetConservationLedger", "ValidatingScheduler", "env_validate"]

@@ -15,8 +15,7 @@ from typing import List, Optional, Sequence
 
 from ..errors import WorkloadError
 from ..simulator.rng import make_rng
-from ..simulator.server import ThreadPoolServer
-from ..simulator.sources import BackloggedSource, Source, TraceSource
+from ..simulator.sources import BackloggedSource, Source, SubmitTarget, TraceSource
 from .arrivals import Backlogged, OpenLoopProcess
 from .spec import TenantSpec
 from .trace import TraceRecord, generate_trace
@@ -25,12 +24,12 @@ __all__ = ["attach_specs", "attach_trace"]
 
 
 def attach_trace(
-    server: ThreadPoolServer,
+    server: SubmitTarget,
     trace: Sequence[TraceRecord],
     speed: float = 1.0,
     weight: float = 1.0,
 ) -> TraceSource:
-    """Attach a pre-generated trace to a server and start it."""
+    """Attach a pre-generated trace to a submit target and start it."""
     source = TraceSource(
         server,
         (record.as_tuple() for record in trace),
@@ -42,7 +41,7 @@ def attach_trace(
 
 
 def attach_specs(
-    server: ThreadPoolServer,
+    server: SubmitTarget,
     specs: Sequence[TenantSpec],
     seed: int = 0,
     duration: Optional[float] = None,

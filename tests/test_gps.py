@@ -127,6 +127,52 @@ class TestValidation:
         assert gps.virtual_time == v
 
 
+class TestCapacityChange:
+    """``set_capacity``: the fleet-level fluid reference re-rates when
+    healthy capacity changes (crash detected / server restored)."""
+
+    def test_halving_capacity_halves_rates_from_now_on(self):
+        gps = GPSReference(capacity=10.0)
+        gps.arrive("A", 100.0, now=0.0)
+        gps.arrive("B", 100.0, now=0.0)
+        gps.advance(2.0)  # 10 each at full rate
+        gps.set_capacity(5.0, now=2.0)
+        gps.advance(6.0)  # +10 each over 4s at half rate
+        assert gps.service("A") == pytest.approx(20.0)
+        assert gps.service("B") == pytest.approx(20.0)
+
+    def test_matches_single_rate_run_piecewise(self):
+        # A capacity change is exact: the two-segment run agrees with
+        # hand-computed piecewise fluid service, drains included.
+        gps = GPSReference(capacity=10.0)
+        gps.arrive("A", 15.0, now=0.0)
+        gps.arrive("B", 100.0, now=0.0)
+        gps.set_capacity(20.0, now=1.0)  # A has 10 left, B has 95
+        gps.advance(2.0)
+        # Segment 2: 10/s each; A drains at t=2 exactly.
+        assert gps.service("A") == pytest.approx(15.0)
+        assert gps.backlog("A") == pytest.approx(0.0)
+        assert gps.service("B") == pytest.approx(15.0)
+        gps.advance(3.0)  # B alone at 20/s
+        assert gps.service("B") == pytest.approx(35.0)
+
+    def test_restore_speeds_drain_back_up(self):
+        gps = GPSReference(capacity=10.0)
+        gps.arrive("A", 40.0, now=0.0)
+        gps.set_capacity(2.0, now=1.0)   # crash detected: 30 left
+        gps.set_capacity(10.0, now=2.0)  # restored: 28 left
+        gps.advance(4.8)
+        assert gps.service("A") == pytest.approx(40.0)
+        assert gps.backlog("A") == 0.0
+
+    def test_rejects_non_positive_capacity(self):
+        gps = GPSReference(capacity=10.0)
+        with pytest.raises(ConfigurationError):
+            gps.set_capacity(0.0, now=1.0)
+        with pytest.raises(ConfigurationError):
+            gps.set_capacity(-5.0, now=1.0)
+
+
 class TestLazyInvalidation:
     """Pin the stale-entry bookkeeping and heap compaction heuristic."""
 

@@ -258,6 +258,10 @@ class TestInstrumentedRun:
         tracer.fault(now, "worker_crash", worker=0)
         tracer.invariant(now, "vt-monotonic", tenant="T0", message="test")
         tracer.audit(now, "bursty", tenant="T0", tripped=True, cov=1.5)
+        tracer.route(
+            now, "T0", seqno=doomed.seqno, server=1, policy="round-robin",
+            healthy=4, backlog=0, accepted=True,
+        )
         kinds = {event.kind for event in tracer}
         assert kinds == set(EVENT_KINDS)
         for event in tracer:
