@@ -1,0 +1,59 @@
+"""Flow-sensitive dimension & taint dataflow analysis (DESIGN.md §17).
+
+The single-pass visitor engine of :mod:`repro.analysis` catches
+*syntactic* hazards -- a wall-clock call, a float ``==``.  This package
+adds an intraprocedural, flow-sensitive abstract-interpretation layer
+that catches *semantic* ones: a ``sim_time + virtual_time`` mix-up three
+assignments away from either source, a seeded-RNG draw that ends up in
+a heap key, a host-clock read that flows into simulated state.
+
+Layout:
+
+* :mod:`~repro.analysis.dataflow.lattice` -- the dimension lattice
+  (``Unknown < {sim_time, wall_time, virtual_time, duration, cost,
+  rate, weight, dimensionless} < Conflict``), the join, and the
+  arithmetic transfer tables;
+* :mod:`~repro.analysis.dataflow.summaries` -- the units model built
+  over the whole analyzed tree: per-class attribute dimensions,
+  per-function parameter/return summaries (from :mod:`repro.units`
+  annotations, seeded by the registry, closed by one inference pass);
+* :mod:`~repro.analysis.dataflow.interp` -- the abstract interpreter
+  that walks each function body in control-flow order, joining
+  environments at merges and iterating loops to a fixpoint, and emits
+  the hazard records the RPR1xx rules report.
+
+The rules themselves live in :mod:`repro.analysis.rules.dataflow` so
+they register in the ordinary catalogue; they share one analysis run
+per project via :func:`get_dataflow_report`.
+"""
+
+from __future__ import annotations
+
+from .lattice import (
+    CONFLICT,
+    DIMENSIONLESS,
+    UNKNOWN,
+    AbstractValue,
+    binop_transfer,
+    compatible,
+    join,
+)
+from .interp import DataflowReport, FunctionAnalysis, analyze_project, get_dataflow_report
+from .summaries import FunctionSummary, UnitsModel, build_units_model
+
+__all__ = [
+    "UNKNOWN",
+    "CONFLICT",
+    "DIMENSIONLESS",
+    "AbstractValue",
+    "join",
+    "compatible",
+    "binop_transfer",
+    "UnitsModel",
+    "FunctionSummary",
+    "build_units_model",
+    "DataflowReport",
+    "FunctionAnalysis",
+    "analyze_project",
+    "get_dataflow_report",
+]

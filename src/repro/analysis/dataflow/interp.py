@@ -1,0 +1,1039 @@
+"""The abstract interpreter behind the RPR1xx rules.
+
+One :class:`FunctionAnalysis` walks one function body in control-flow
+order over an abstract environment mapping names (locals, plus
+``recv.attr`` pseudo-names for attribute state) to
+:class:`~repro.analysis.dataflow.lattice.AbstractValue`.  Branches are
+interpreted on copies of the environment and joined at the merge;
+loops iterate to a (bounded) fixpoint, which the shallow lattice
+reaches in a couple of rounds.  Hazards are emitted as structured
+records; the rule classes in :mod:`repro.analysis.rules.dataflow`
+translate them into findings.
+
+Hazard kinds and their rules::
+
+    arith      RPR101  additive arithmetic over incompatible dimensions
+    compare    RPR102  ordering comparison over incompatible dimensions
+    boundary   RPR103  concrete dimension mismatch at an annotated
+                       boundary (call argument, return, annotated or
+                       declared-attribute assignment)
+    rng_order  RPR110  RNG-tainted value reaching ordering-sensitive
+                       scheduler state (scheduler classes only)
+    wall_sim   RPR111  host-clock-tainted value reaching sim_time /
+                       virtual_time state
+
+Taint is sticky where dimension is not: arithmetic that would launder a
+dimension into ``Unknown`` keeps the RNG/wall bits, so RPR110/RPR111
+catch flows the dimension lattice alone would lose.  Deliberate
+imprecision (documented in DESIGN.md §17): the analysis is
+intraprocedural -- call results adopt the callee's *dimension* summary
+but never its taint -- and module-level script code is not interpreted.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ...units import (
+    ATTRIBUTE_DIMS,
+    CALLABLE_DIMS,
+    CALLABLE_PARAM_DIMS,
+    ORDERING_SENSITIVE_ATTRS,
+    RNG_FACTORY_CALLS,
+    WALL_CLOCK_CALLS,
+)
+from ..project import ProjectModel
+from .lattice import (
+    CONFLICT,
+    DIMENSIONLESS,
+    UNKNOWN,
+    AbstractValue,
+    binop_transfer,
+    compatible,
+    join_values,
+)
+from .summaries import FunctionSummary, UnitsModel, annotation_dim, build_units_model
+
+__all__ = [
+    "Hazard",
+    "DataflowReport",
+    "FunctionAnalysis",
+    "analyze_project",
+    "get_dataflow_report",
+]
+
+#: Environment type: name (or ``recv.attr`` pseudo-name) -> value.
+Env = Dict[str, AbstractValue]
+
+_BOTTOM = AbstractValue()
+
+#: Sink dimensions for the host-clock rule: simulated state.
+_SIM_DIMS = frozenset({"sim_time", "virtual_time"})
+
+#: Operator node type -> surface spelling for transfer dispatch.
+_OP_SYMBOLS = {
+    ast.Add: "+",
+    ast.Sub: "-",
+    ast.Mod: "%",
+    ast.Mult: "*",
+    ast.Div: "/",
+    ast.FloorDiv: "//",
+}
+
+#: Comparison operators that demand dimensional compatibility.
+_ORDERED_CMPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+#: Loop-fixpoint iteration bound; the lattice has height 2 per variable
+#: so two rounds usually suffice, four is safety margin.
+_MAX_LOOP_ROUNDS = 4
+
+
+@dataclass(frozen=True)
+class Hazard:
+    """One dataflow hazard at one source location."""
+
+    kind: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+
+@dataclass
+class DataflowReport:
+    """All hazards from one whole-project analysis run."""
+
+    hazards: List[Hazard] = field(default_factory=list)
+    functions_analyzed: int = 0
+
+    def by_kind(self, kind: str) -> List[Hazard]:
+        return [h for h in self.hazards if h.kind == kind]
+
+
+def _describe(node: ast.expr) -> str:
+    """Short source spelling of an expression for messages."""
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on real trees
+        return "<expr>"
+    return text if len(text) <= 45 else text[:42] + "..."
+
+
+def _module_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Top-level import aliases: local name -> fully qualified name."""
+    aliases: Dict[str, str] = {}
+    for node in tree.body:
+        _record_import(node, aliases)
+    return aliases
+
+
+def _record_import(node: ast.stmt, aliases: Dict[str, str]) -> None:
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            if alias.asname:
+                aliases[alias.asname] = alias.name
+            else:
+                head = alias.name.split(".")[0]
+                aliases[head] = head
+    elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+        for alias in node.names:
+            aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+
+
+def _dotted(node: ast.expr) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class FunctionAnalysis:
+    """Interpret one function body; collect hazards and the return dim."""
+
+    def __init__(
+        self,
+        model: UnitsModel,
+        summary: FunctionSummary,
+        aliases: Dict[str, str],
+        *,
+        collect: bool = True,
+    ) -> None:
+        self.model = model
+        self.summary = summary
+        self.aliases = dict(aliases)
+        self.collect = collect
+        self.hazards: List[Hazard] = []
+        self.return_value: AbstractValue = _BOTTOM
+        self._saw_return = False
+        self._seen: Set[Tuple[int, int, str]] = set()
+        self._is_scheduler = (
+            summary.class_name is not None
+            and model.is_scheduler_class(summary.class_name, summary.module)
+        )
+
+    # -- reporting ---------------------------------------------------------
+
+    def _report(self, kind: str, node: ast.AST, message: str) -> None:
+        if not self.collect:
+            return
+        line = getattr(node, "lineno", self.summary.lineno)
+        col = getattr(node, "col_offset", 0)
+        key = (line, col, kind)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.hazards.append(
+            Hazard(
+                kind=kind,
+                path=self.summary.path,
+                line=line,
+                col=col,
+                message=message,
+            )
+        )
+
+    # -- entry point -------------------------------------------------------
+
+    def run(self) -> AbstractValue:
+        node = self.summary.node
+        if node is None:  # registry-only summaries have no body
+            return _BOTTOM
+        env: Env = {}
+        for name, dim in self.summary.params:
+            value = AbstractValue(dim or UNKNOWN)
+            if dim == "wall_time":
+                # A parameter *declared* host time is a taint source:
+                # the annotation is the hand-off point.
+                value = AbstractValue(dim, wall=True)
+            env[name] = value
+        self._exec_block(node.body, env)
+        return self.return_value
+
+    # -- environments ------------------------------------------------------
+
+    @staticmethod
+    def _join_env(a: Env, b: Env) -> Env:
+        out: Env = {}
+        for key in a.keys() | b.keys():
+            out[key] = join_values(a.get(key, _BOTTOM), b.get(key, _BOTTOM))
+        return out
+
+    # -- statements --------------------------------------------------------
+
+    def _exec_block(self, stmts: Sequence[ast.stmt], env: Env) -> Env:
+        for stmt in stmts:
+            env = self._exec_stmt(stmt, env)
+        return env
+
+    def _exec_stmt(self, stmt: ast.stmt, env: Env) -> Env:
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value, env)
+            for target in stmt.targets:
+                self._bind_target(target, value, env, stmt.value)
+            return env
+        if isinstance(stmt, ast.AnnAssign):
+            declared = annotation_dim(stmt.annotation)
+            if stmt.value is not None:
+                value = self._eval(stmt.value, env)
+                if declared is not None:
+                    self._check_annotated_assign(stmt, value, declared)
+                    value = value.with_dim(declared)
+                self._bind_target(stmt.target, value, env, stmt.value)
+            elif declared is not None:
+                self._bind_target(
+                    stmt.target, AbstractValue(declared), env, None
+                )
+            return env
+        if isinstance(stmt, ast.AugAssign):
+            op = _OP_SYMBOLS.get(type(stmt.op))
+            current = self._eval(stmt.target, env, reading=True)
+            value = self._eval(stmt.value, env)
+            if op is not None:
+                result_dim, hazard = binop_transfer(op, current.dim, value.dim)
+                if hazard:
+                    self._arith_hazard(stmt, op, stmt.target, current, stmt.value, value)
+                merged = AbstractValue(
+                    result_dim,
+                    rng=current.rng or value.rng,
+                    wall=current.wall or value.wall,
+                )
+            else:
+                merged = join_values(current, value)
+            self._bind_target(stmt.target, merged, env, stmt.value)
+            return env
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                value = self._eval(stmt.value, env)
+                declared = self.summary.return_dim
+                if declared is not None:
+                    if value.wall and declared in _SIM_DIMS:
+                        self._report(
+                            "wall_sim",
+                            stmt,
+                            "host-clock-derived value returned from "
+                            f"`{self.summary.name}()` annotated as {declared}",
+                        )
+                    elif (
+                        value.dim not in (UNKNOWN, CONFLICT, DIMENSIONLESS)
+                        and not compatible(value.dim, declared)
+                    ):
+                        self._report(
+                            "boundary",
+                            stmt,
+                            f"returning {value.dim} value "
+                            f"`{_describe(stmt.value)}` from "
+                            f"`{self.summary.name}()` annotated -> {declared}",
+                        )
+                if self._saw_return:
+                    self.return_value = join_values(self.return_value, value)
+                else:
+                    self.return_value = value
+                    self._saw_return = True
+            return env
+        if isinstance(stmt, ast.If):
+            self._eval(stmt.test, env)
+            then_env = self._exec_block(stmt.body, dict(env))
+            else_env = self._exec_block(stmt.orelse, dict(env))
+            return self._join_env(then_env, else_env)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._exec_loop(stmt, env)
+        if isinstance(stmt, ast.Try):
+            body_env = self._exec_block(stmt.body, dict(env))
+            merged = body_env
+            for handler in stmt.handlers:
+                handler_env = dict(self._join_env(env, body_env))
+                if handler.name:
+                    handler_env[handler.name] = _BOTTOM
+                merged = self._join_env(
+                    merged, self._exec_block(handler.body, handler_env)
+                )
+            merged = self._exec_block(stmt.orelse, merged)
+            return self._exec_block(stmt.finalbody, merged)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                value = self._eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._bind_target(item.optional_vars, value, env, None)
+            return self._exec_block(stmt.body, env)
+        if isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, env)
+            return env
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            _record_import(stmt, self.aliases)
+            return env
+        if isinstance(stmt, ast.Assert):
+            self._eval(stmt.test, env)
+            if stmt.msg is not None:
+                self._eval(stmt.msg, env)
+            return env
+        if isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._eval(stmt.exc, env)
+            return env
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+            return env
+        if isinstance(stmt, ast.Match):
+            self._eval(stmt.subject, env)
+            merged: Optional[Env] = None
+            for case in stmt.cases:
+                case_env = self._exec_block(case.body, dict(env))
+                merged = (
+                    case_env if merged is None
+                    else self._join_env(merged, case_env)
+                )
+            return self._join_env(env, merged) if merged is not None else env
+        # Nested definitions, pass, break, continue, global, nonlocal:
+        # no dataflow effect at this level of precision.
+        return env
+
+    def _exec_loop(self, stmt: ast.stmt, env: Env) -> Env:
+        loop_env = dict(env)
+        for _ in range(_MAX_LOOP_ROUNDS):
+            trial = dict(loop_env)
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                iterable = self._eval(stmt.iter, trial)
+                # Iteration element: dimension unknown, taints inherited
+                # (iterating a tainted collection yields tainted items).
+                self._bind_target(
+                    stmt.target,
+                    AbstractValue(UNKNOWN, rng=iterable.rng, wall=iterable.wall),
+                    trial,
+                    None,
+                )
+            else:
+                self._eval(stmt.test, trial)  # type: ignore[attr-defined]
+            after = self._exec_block(stmt.body, trial)
+            new_env = self._join_env(loop_env, after)
+            if new_env == loop_env:
+                break
+            loop_env = new_env
+        env = self._join_env(env, loop_env)
+        orelse = getattr(stmt, "orelse", [])
+        return self._exec_block(orelse, env)
+
+    # -- binding and sinks -------------------------------------------------
+
+    def _bind_target(
+        self,
+        target: ast.expr,
+        value: AbstractValue,
+        env: Env,
+        value_node: Optional[ast.expr],
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+            return
+        if isinstance(target, ast.Attribute):
+            self._check_attr_sinks(target, value, value_node)
+            if isinstance(target.value, ast.Name):
+                # A dimensionless/unknown write into a *declared* slot
+                # (`self._active_weight = 0.0` resetting a Weight) keeps
+                # the declared dimension: the declaration is
+                # authoritative, and rebinding the pseudo-variable to
+                # DIMENSIONLESS would launder later reads (`cost /
+                # self._active_weight` losing its virtual_time result).
+                if value.dim in (UNKNOWN, DIMENSIONLESS):
+                    declared = self._declared_attr_dim(target)
+                    if declared is not None:
+                        value = value.with_dim(declared)
+                env[f"{target.value.id}.{target.attr}"] = value
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            if (
+                value_node is not None
+                and isinstance(value_node, (ast.Tuple, ast.List))
+                and len(value_node.elts) == len(target.elts)
+            ):
+                # Positional unpack of a literal tuple keeps per-element
+                # precision; this is how `a, b = b, a` swaps stay typed.
+                for sub_target, sub_value in zip(target.elts, value_node.elts):
+                    self._bind_target(
+                        sub_target, self._eval(sub_value, env), env, sub_value
+                    )
+            else:
+                element = AbstractValue(UNKNOWN, rng=value.rng, wall=value.wall)
+                for sub_target in target.elts:
+                    self._bind_target(sub_target, element, env, None)
+            return
+        if isinstance(target, ast.Starred):
+            self._bind_target(target.value, value, env, None)
+        # Subscript targets: no binding at this precision.
+
+    def _declared_attr_dim(self, target: ast.Attribute) -> Optional[str]:
+        """Declared dimension of an attribute-assignment target."""
+        if (
+            isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and self.summary.class_name is not None
+        ):
+            declared = self.model.attr_dim(
+                self.summary.class_name, target.attr, self.summary.module
+            )
+            if declared is not None:
+                return declared
+        return ATTRIBUTE_DIMS.get(target.attr)
+
+    def _check_attr_sinks(
+        self,
+        target: ast.Attribute,
+        value: AbstractValue,
+        value_node: Optional[ast.expr],
+    ) -> None:
+        if (
+            value.rng
+            and self._is_scheduler
+            and target.attr in ORDERING_SENSITIVE_ATTRS
+        ):
+            self._report(
+                "rng_order",
+                target,
+                f"RNG-derived value written to ordering-sensitive "
+                f"scheduler state `{_describe(target)}`; seeded draws "
+                "must not influence dispatch order",
+            )
+        declared = self._declared_attr_dim(target)
+        if declared is None:
+            return
+        if value.wall and declared in _SIM_DIMS:
+            self._report(
+                "wall_sim",
+                target,
+                f"host-clock-derived value assigned to `{_describe(target)}` "
+                f"({declared}); simulated state must come from Simulation.now",
+            )
+            return
+        if value.dim not in (UNKNOWN, CONFLICT, DIMENSIONLESS) and not compatible(
+            value.dim, declared
+        ):
+            self._report(
+                "boundary",
+                target,
+                f"{value.dim} value assigned to `{_describe(target)}`, "
+                f"declared {declared}",
+            )
+
+    def _check_annotated_assign(
+        self, stmt: ast.AnnAssign, value: AbstractValue, declared: str
+    ) -> None:
+        if value.wall and declared in _SIM_DIMS:
+            self._report(
+                "wall_sim",
+                stmt,
+                f"host-clock-derived value bound to "
+                f"`{_describe(stmt.target)}` annotated {declared}",
+            )
+            return
+        if value.dim not in (UNKNOWN, CONFLICT, DIMENSIONLESS) and not compatible(
+            value.dim, declared
+        ):
+            self._report(
+                "boundary",
+                stmt,
+                f"{value.dim} value bound to `{_describe(stmt.target)}` "
+                f"annotated {declared}",
+            )
+
+    def _arith_hazard(
+        self,
+        node: ast.AST,
+        op: str,
+        left_node: ast.expr,
+        left: AbstractValue,
+        right_node: ast.expr,
+        right: AbstractValue,
+    ) -> None:
+        wall, other = None, None
+        if left.wall and right.dim in _SIM_DIMS:
+            wall, other = left_node, right
+        elif right.wall and left.dim in _SIM_DIMS:
+            wall, other = right_node, left
+        if wall is not None and other is not None:
+            self._report(
+                "wall_sim",
+                node,
+                f"host-clock-derived `{_describe(wall)}` combined with "
+                f"{other.dim} state",
+            )
+            return
+        self._report(
+            "arith",
+            node,
+            f"dimension conflict: `{_describe(left_node)}` ({left.dim}) "
+            f"{op} `{_describe(right_node)}` ({right.dim})",
+        )
+
+    # -- expressions -------------------------------------------------------
+
+    def _eval(
+        self, node: ast.expr, env: Env, *, reading: bool = False
+    ) -> AbstractValue:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or not isinstance(
+                node.value, (int, float)
+            ):
+                return _BOTTOM
+            return AbstractValue(DIMENSIONLESS)
+        if isinstance(node, ast.Name):
+            return env.get(node.id, _BOTTOM)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node, env)
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node, env)
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand, env)
+        if isinstance(node, ast.BoolOp):
+            value = _BOTTOM
+            for operand in node.values:
+                value = join_values(value, self._eval(operand, env))
+            return value
+        if isinstance(node, ast.Compare):
+            return self._eval_compare(node, env)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env)
+            return join_values(
+                self._eval(node.body, env), self._eval(node.orelse, env)
+            )
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            rng = wall = False
+            for elt in node.elts:
+                value = self._eval(elt, env)
+                rng, wall = rng or value.rng, wall or value.wall
+            return AbstractValue(UNKNOWN, rng=rng, wall=wall)
+        if isinstance(node, ast.Dict):
+            rng = wall = False
+            for sub in list(node.keys) + list(node.values):
+                if sub is not None:
+                    value = self._eval(sub, env)
+                    rng, wall = rng or value.rng, wall or value.wall
+            return AbstractValue(UNKNOWN, rng=rng, wall=wall)
+        if isinstance(node, ast.Subscript):
+            receiver = self._eval(node.value, env)
+            self._eval(node.slice, env)
+            return AbstractValue(UNKNOWN, rng=receiver.rng, wall=receiver.wall)
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, env)
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            inner = dict(env)
+            for gen in node.generators:
+                iterable = self._eval(gen.iter, inner)
+                self._bind_target(
+                    gen.target,
+                    AbstractValue(UNKNOWN, rng=iterable.rng, wall=iterable.wall),
+                    inner,
+                    None,
+                )
+                for cond in gen.ifs:
+                    self._eval(cond, inner)
+            if isinstance(node, ast.DictComp):
+                self._eval(node.key, inner)
+                value = self._eval(node.value, inner)
+            else:
+                value = self._eval(node.elt, inner)
+            return AbstractValue(UNKNOWN, rng=value.rng, wall=value.wall)
+        if isinstance(node, ast.Lambda):
+            return _BOTTOM
+        if isinstance(node, (ast.JoinedStr, ast.FormattedValue)):
+            return _BOTTOM
+        if isinstance(node, ast.NamedExpr):
+            value = self._eval(node.value, env)
+            self._bind_target(node.target, value, env, node.value)
+            return value
+        if isinstance(node, (ast.Await, ast.YieldFrom)):
+            return self._eval(node.value, env)  # type: ignore[arg-type]
+        if isinstance(node, ast.Yield):
+            if node.value is not None:
+                self._eval(node.value, env)
+            return _BOTTOM
+        return _BOTTOM
+
+    def _eval_attribute(self, node: ast.Attribute, env: Env) -> AbstractValue:
+        # Flow-sensitive pseudo-variable first: `recv.attr` written
+        # earlier in this function keeps its assigned value.
+        if isinstance(node.value, ast.Name):
+            pseudo = f"{node.value.id}.{node.attr}"
+            if pseudo in env:
+                return env[pseudo]
+        # Declared dimension through the enclosing class's MRO.
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and self.summary.class_name is not None
+        ):
+            declared = self.model.attr_dim(
+                self.summary.class_name, node.attr, self.summary.module
+            )
+            if declared is not None:
+                return AbstractValue(
+                    declared, wall=declared == "wall_time"
+                )
+        receiver = self._eval(node.value, env)
+        if receiver.rng_generator:
+            # Attribute on an RNG generator (a bound method about to be
+            # called, or generator state): carries the generator mark.
+            return AbstractValue(UNKNOWN, rng_generator=True)
+        dim = ATTRIBUTE_DIMS.get(node.attr)
+        if dim is not None:
+            return AbstractValue(dim, wall=dim == "wall_time")
+        return AbstractValue(UNKNOWN, rng=receiver.rng, wall=receiver.wall)
+
+    def _eval_binop(self, node: ast.BinOp, env: Env) -> AbstractValue:
+        left = self._eval(node.left, env)
+        right = self._eval(node.right, env)
+        op = _OP_SYMBOLS.get(type(node.op))
+        if op is None:
+            return AbstractValue(
+                UNKNOWN,
+                rng=left.rng or right.rng,
+                wall=left.wall or right.wall,
+            )
+        result_dim, hazard = binop_transfer(op, left.dim, right.dim)
+        if hazard:
+            self._arith_hazard(node, op, node.left, left, node.right, right)
+        return AbstractValue(
+            result_dim,
+            rng=left.rng or right.rng,
+            wall=left.wall or right.wall,
+        )
+
+    def _eval_compare(self, node: ast.Compare, env: Env) -> AbstractValue:
+        values = [self._eval(node.left, env)]
+        values.extend(self._eval(cmp, env) for cmp in node.comparators)
+        nodes = [node.left, *node.comparators]
+        rng = any(v.rng for v in values)
+        wall = any(v.wall for v in values)
+        for i, op in enumerate(node.ops):
+            if not isinstance(op, _ORDERED_CMPS):
+                continue
+            a, b = values[i], values[i + 1]
+            if not compatible(a.dim, b.dim):
+                if (a.wall and b.dim in _SIM_DIMS) or (
+                    b.wall and a.dim in _SIM_DIMS
+                ):
+                    self._report(
+                        "wall_sim",
+                        node,
+                        f"host-clock-derived value compared against "
+                        f"{(b if a.wall else a).dim} state",
+                    )
+                else:
+                    self._report(
+                        "compare",
+                        node,
+                        f"dimension conflict in comparison: "
+                        f"`{_describe(nodes[i])}` ({a.dim}) vs "
+                        f"`{_describe(nodes[i + 1])}` ({b.dim})",
+                    )
+        if rng and self._is_scheduler:
+            self._report(
+                "rng_order",
+                node,
+                "RNG-derived value in a scheduler-class comparison: "
+                "seeded draws must not act as dispatch tie-breaks",
+            )
+        return AbstractValue(DIMENSIONLESS, rng=rng, wall=wall)
+
+    # -- calls -------------------------------------------------------------
+
+    def _resolve_call_target(self, func: ast.expr) -> Optional[str]:
+        dotted = _dotted(func)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        full_head = self.aliases.get(head, head)
+        return f"{full_head}.{rest}" if rest else full_head
+
+    def _callee_summary(
+        self, func: ast.expr, env: Env
+    ) -> Optional[FunctionSummary]:
+        if isinstance(func, ast.Name):
+            target = self.aliases.get(func.id, func.id)
+            module, _, name = target.rpartition(".")
+            if module:
+                summary = self.model.function_summary(module, name)
+                if summary is not None:
+                    return summary
+            return self.model.function_summary(self.summary.module, func.id)
+        if isinstance(func, ast.Attribute):
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and self.summary.class_name is not None
+            ):
+                return self.model.method_summary(
+                    self.summary.class_name, func.attr, self.summary.module
+                )
+        return None
+
+    def _eval_call(self, node: ast.Call, env: Env) -> AbstractValue:
+        func = node.func
+        target = self._resolve_call_target(func)
+        final_name = (
+            func.attr
+            if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name) else None
+        )
+
+        # Host-clock and RNG sources.
+        if target is not None and (
+            target in WALL_CLOCK_CALLS or final_name in WALL_CLOCK_CALLS
+        ):
+            self._eval_args_only(node, env)
+            return AbstractValue("wall_time", wall=True)
+        if target is not None and (
+            target in RNG_FACTORY_CALLS or final_name in RNG_FACTORY_CALLS
+        ):
+            self._eval_args_only(node, env)
+            return AbstractValue(UNKNOWN, rng_generator=True)
+
+        # Draws from an RNG generator receiver.
+        if isinstance(func, ast.Attribute):
+            receiver = self._eval(func.value, env)
+            if receiver.rng_generator:
+                self._eval_args_only(node, env)
+                return AbstractValue(UNKNOWN, rng=True)
+
+        # Dimension-transparent builtins.  min/max return one of their
+        # operands, so a dimensionless clamp bound (``max(0.0, cost)``)
+        # must not launder the concrete dimension through the join.
+        if isinstance(func, ast.Name) and func.id in ("min", "max", "abs", "sorted"):
+            values = [self._eval(arg, env) for arg in node.args]
+            for kw in node.keywords:
+                self._eval(kw.value, env)
+            concrete = {
+                v.dim
+                for v in values
+                if v.dim not in (UNKNOWN, CONFLICT, DIMENSIONLESS)
+            }
+            rng = any(v.rng for v in values)
+            wall = any(v.wall for v in values)
+            if len(concrete) == 1 and not any(
+                v.dim in (UNKNOWN, CONFLICT) for v in values
+            ):
+                return AbstractValue(concrete.pop(), rng=rng, wall=wall)
+            value = _BOTTOM
+            for v in values:
+                value = join_values(value, v)
+            return value
+        if isinstance(func, ast.Name) and func.id in ("float", "int", "round"):
+            if len(node.args) == 1 and not node.keywords:
+                return self._eval(node.args[0], env)
+
+        # Heap pushes: ordering-sensitive sink for RNG taint.
+        if final_name in ("heappush", "heappushpop", "heapreplace"):
+            self._check_heap_push(node, env)
+            return _BOTTOM
+
+        summary = self._callee_summary(func, env)
+        if summary is not None:
+            self._check_call_boundary(node, summary.params, summary.name, env)
+            declared = summary.effective_return_dim
+            return AbstractValue(declared or UNKNOWN)
+
+        # Registry fallback for well-known method names.
+        if final_name is not None and final_name in CALLABLE_PARAM_DIMS:
+            self._check_call_boundary(
+                node, CALLABLE_PARAM_DIMS[final_name], final_name, env
+            )
+            return AbstractValue(CALLABLE_DIMS.get(final_name, UNKNOWN))
+        if final_name is not None and final_name in CALLABLE_DIMS:
+            self._eval_args_only(node, env)
+            return AbstractValue(CALLABLE_DIMS[final_name])
+
+        self._eval_args_only(node, env)
+        return _BOTTOM
+
+    def _eval_args_only(self, node: ast.Call, env: Env) -> None:
+        for arg in node.args:
+            self._eval(arg, env)
+        for kw in node.keywords:
+            self._eval(kw.value, env)
+
+    def _check_heap_push(self, node: ast.Call, env: Env) -> None:
+        for arg in node.args:
+            elements = (
+                arg.elts if isinstance(arg, (ast.Tuple, ast.List)) else [arg]
+            )
+            for element in elements:
+                value = self._eval(element, env)
+                if value.rng and self._is_scheduler:
+                    self._report(
+                        "rng_order",
+                        element,
+                        f"RNG-derived value `{_describe(element)}` used in "
+                        "a scheduler heap key; seeded draws must not "
+                        "influence dispatch order",
+                    )
+        for kw in node.keywords:
+            self._eval(kw.value, env)
+
+    def _check_call_boundary(
+        self,
+        node: ast.Call,
+        params: Tuple[Tuple[str, Optional[str]], ...],
+        callee: str,
+        env: Env,
+    ) -> None:
+        by_name = dict(params)
+        for index, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred):
+                self._eval(arg, env)
+                continue
+            value = self._eval(arg, env)
+            declared = params[index][1] if index < len(params) else None
+            self._check_one_boundary(arg, value, declared, callee)
+        for kw in node.keywords:
+            value = self._eval(kw.value, env)
+            declared = by_name.get(kw.arg) if kw.arg is not None else None
+            self._check_one_boundary(kw.value, value, declared, callee)
+
+    def _check_one_boundary(
+        self,
+        arg: ast.expr,
+        value: AbstractValue,
+        declared: Optional[str],
+        callee: str,
+    ) -> None:
+        if declared is None:
+            return
+        if value.wall and declared in _SIM_DIMS:
+            self._report(
+                "wall_sim",
+                arg,
+                f"host-clock-derived `{_describe(arg)}` passed to "
+                f"`{callee}()` parameter annotated {declared}",
+            )
+            return
+        if value.dim in (UNKNOWN, CONFLICT, DIMENSIONLESS):
+            return
+        # Boundaries demand the *exact* declared dimension, not additive
+        # compatibility: a Duration passed where a SimTime parameter is
+        # declared type-checks under `+`/`-` rules but is the classic
+        # point-vs-length bug (`sim.at(interval, ...)` schedules the
+        # first sample at ABSOLUTE time `interval`, which is in the past
+        # for any collector attached after t=0).
+        if value.dim != declared:
+            self._report(
+                "boundary",
+                arg,
+                f"{value.dim} value `{_describe(arg)}` passed to "
+                f"`{callee}()` parameter annotated {declared}",
+            )
+
+
+def analyze_project(project: ProjectModel) -> DataflowReport:
+    """Run the full two-phase dataflow analysis over a project.
+
+    Phase 1 interprets every function with hazard collection off,
+    recording an *inferred* return dimension for functions without a
+    return annotation -- one round of cross-function propagation.
+    Phase 2 re-interprets everything with the completed summary table
+    and collects hazards.
+    """
+    model = build_units_model(project)
+    aliases_by_module: Dict[str, Dict[str, str]] = {
+        mod.module: _module_aliases(mod.tree) for mod in project.modules
+    }
+    summaries = model.all_summaries()
+
+    for summary in summaries:
+        if summary.return_dim is not None or summary.node is None:
+            continue
+        analysis = FunctionAnalysis(
+            model,
+            summary,
+            aliases_by_module.get(summary.module, {}),
+            collect=False,
+        )
+        result = analysis.run()
+        if result.dim not in (UNKNOWN, CONFLICT):
+            summary.inferred_return_dim = result.dim
+
+    report = DataflowReport()
+    for summary in summaries:
+        if summary.node is None:
+            continue
+        analysis = FunctionAnalysis(
+            model, summary, aliases_by_module.get(summary.module, {})
+        )
+        analysis.run()
+        report.hazards.extend(analysis.hazards)
+        report.functions_analyzed += 1
+    report.hazards.sort(key=lambda h: (h.path, h.line, h.col, h.kind))
+    return report
+
+
+#: Bump to invalidate on-disk dataflow caches when the analysis itself
+#: changes (lattice, transfer functions, rule semantics).
+_CACHE_SCHEMA = 3
+
+
+def _project_digest(project: ProjectModel) -> str:
+    """SHA-256 over the analyzed sources, same path+NUL+bytes framing as
+    :func:`repro.parallel.cache.source_digest` so one hashing idiom
+    covers both caches.  Keyed additionally on the cache schema version
+    because the hazards depend on the analyzer, not only the inputs."""
+    digest = hashlib.sha256()
+    digest.update(f"dataflow-schema-{_CACHE_SCHEMA}".encode())
+    digest.update(b"\0")
+    for mod in sorted(project.modules, key=lambda m: m.path):
+        digest.update(mod.path.encode())
+        digest.update(b"\0")
+        try:
+            with open(mod.path, "rb") as fh:
+                digest.update(fh.read())
+        except OSError:
+            # Unreadable source: key on the path alone; the entry still
+            # differs from a tree where the file was readable.
+            digest.update(b"<unreadable>")
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def _load_cached_report(path: str) -> Optional[DataflowReport]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        return DataflowReport(
+            hazards=[Hazard(**h) for h in payload["hazards"]],
+            functions_analyzed=int(payload["functions_analyzed"]),
+        )
+    except (OSError, ValueError, KeyError, TypeError):
+        return None  # corrupt or missing entry: treated as a miss
+
+
+def _store_cached_report(path: str, report: DataflowReport) -> None:
+    payload = {
+        "hazards": [
+            {
+                "kind": h.kind,
+                "path": h.path,
+                "line": h.line,
+                "col": h.col,
+                "message": h.message,
+            }
+            for h in report.hazards
+        ],
+        "functions_analyzed": report.functions_analyzed,
+    }
+    directory = os.path.dirname(path) or "."
+    try:
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)  # atomic: no torn entries for readers
+        except BaseException:
+            os.unlink(tmp)
+            raise
+    except OSError:
+        pass  # cache is best-effort; analysis already succeeded
+
+
+def get_dataflow_report(project: ProjectModel) -> DataflowReport:
+    """The per-analyzer-run shared report (computed once, cached on the
+    project's scratch space however many RPR1xx rules consume it).
+
+    When the engine put a ``dataflow_cache_dir`` into the project's
+    scratch space (the CLI's ``--cache DIR``), the report is also
+    persisted on disk keyed by the source digest of the analyzed tree,
+    so an unchanged tree skips the abstract-interpretation pass
+    entirely on the next run.
+    """
+    cached = project.cache.get("dataflow_report")
+    if isinstance(cached, DataflowReport):
+        return cached
+    cache_dir = project.cache.get("dataflow_cache_dir")
+    entry_path: Optional[str] = None
+    if isinstance(cache_dir, str) and cache_dir:
+        entry_path = os.path.join(
+            cache_dir, f"dataflow-{_project_digest(project)}.json"
+        )
+        report = _load_cached_report(entry_path)
+        if report is not None:
+            project.cache["dataflow_report"] = report
+            project.cache["dataflow_cache_hit"] = True
+            return report
+    report = analyze_project(project)
+    project.cache["dataflow_report"] = report
+    if entry_path is not None:
+        project.cache["dataflow_cache_hit"] = False
+        _store_cached_report(entry_path, report)
+    return report

@@ -1,0 +1,284 @@
+"""The dimension lattice and its transfer tables.
+
+Three layers::
+
+            Conflict                 (provably mixed dimensions)
+       /   /   |   \\   \\
+    sim_time wall_time ... weight    (the concrete dimensions, plus
+       \\   \\   |   /   /            ``dimensionless`` for literals)
+            Unknown                  (no information)
+
+The *join* (control-flow merge) is deliberately forgiving: two branches
+assigning different concrete dimensions to one variable join to
+``Unknown``, not ``Conflict`` -- a merge is not evidence of a bug, and
+false positives would force suppressions all over legitimate code.
+``Conflict`` is produced only by the arithmetic transfer functions,
+where mixing is structural (``sim_time + virtual_time`` on one node).
+
+Arithmetic follows the classic units algebra:
+
+* **additive** operators (``+``, ``-``, ``%``) require *compatible*
+  dimensions.  Each wall axis is compatible with ``duration``
+  (``now + delay`` is a timestamp; ``t1 - t0`` is a duration); the
+  virtual axis is closed under addition and subtraction (tags and
+  virtual spans live on the same axis); everything else only combines
+  with itself.  Incompatible pairs produce ``Conflict`` and an RPR101
+  hazard.
+* **multiplicative** operators compose dimensions instead of requiring
+  agreement: ``rate * duration -> cost``, ``cost / rate -> duration``,
+  ``cost / weight -> virtual_time`` (Figure 7's central conversion),
+  ``weight * virtual_time -> cost`` (the GPS backlog identity), and a
+  same-dimension quotient is a pure ratio (``dimensionless``).  Unknown
+  compositions yield ``Unknown``, never ``Conflict`` -- multiplication
+  of exotic pairs is how *new* dimensions are built, not a bug per se.
+* ``dimensionless`` is the identity for every operator: scaling by a
+  constant or adding an epsilon never changes (or conflicts with) a
+  dimension.
+
+Comparisons reuse the additive compatibility relation: ordering a
+``sim_time`` against a ``virtual_time`` is meaningless (RPR102).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+__all__ = [
+    "UNKNOWN",
+    "CONFLICT",
+    "DIMENSIONLESS",
+    "CONCRETE_DIMS",
+    "AbstractValue",
+    "join",
+    "join_values",
+    "compatible",
+    "additive_transfer",
+    "multiplicative_transfer",
+    "binop_transfer",
+]
+
+#: Lattice bottom: nothing known about the value's dimension.
+UNKNOWN = "unknown"
+#: Lattice top: the value provably mixes incompatible dimensions.
+CONFLICT = "conflict"
+#: Pure numbers: literals, counts, ratios, epsilons.
+DIMENSIONLESS = "dimensionless"
+
+#: The concrete (middle-layer) dimensions, mirroring repro.units.
+CONCRETE_DIMS: FrozenSet[str] = frozenset(
+    {
+        "sim_time",
+        "wall_time",
+        "virtual_time",
+        "duration",
+        "cost",
+        "rate",
+        "weight",
+        DIMENSIONLESS,
+    }
+)
+
+#: Additive compatibility groups: dimensions sharing a group may be
+#: added/subtracted/compared.  ``duration`` deliberately appears in both
+#: wall-axis groups (a duration is a length of seconds on either
+#: clock), which also makes sim_time/wall_time *incompatible with each
+#: other* -- exactly the property RPR101/RPR102 protect.
+_ADDITIVE_GROUPS: Tuple[FrozenSet[str], ...] = (
+    frozenset({"sim_time", "duration"}),
+    frozenset({"wall_time", "duration"}),
+    frozenset({"virtual_time"}),
+    frozenset({"cost"}),
+    frozenset({"rate"}),
+    frozenset({"weight"}),
+    frozenset({DIMENSIONLESS}),
+)
+
+#: Additive result: for a compatible pair, the "pointier" dimension
+#: wins (time point +/- duration -> time point); subtracting two points
+#: on the same wall axis yields a duration.
+_POINT_AXES: FrozenSet[str] = frozenset({"sim_time", "wall_time"})
+
+#: Multiplicative composition table (symmetric pairs listed once).
+_MUL_TABLE: Dict[Tuple[str, str], str] = {
+    ("rate", "duration"): "cost",
+    ("weight", "virtual_time"): "cost",
+}
+
+#: Division table: numerator, denominator -> quotient.
+_DIV_TABLE: Dict[Tuple[str, str], str] = {
+    ("cost", "rate"): "duration",
+    ("cost", "duration"): "rate",
+    ("cost", "weight"): "virtual_time",
+    ("cost", "virtual_time"): "weight",
+}
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """One abstract value: a dimension plus the two taint bits.
+
+    ``dim``
+        Element of the dimension lattice (``UNKNOWN``, ``CONFLICT``, or
+        a member of :data:`CONCRETE_DIMS`).
+    ``rng``
+        True when the value is (or derives from) a seeded-RNG draw.
+    ``wall``
+        True when the value derives from a host-clock read.  Tracked
+        separately from ``dim == "wall_time"`` because taint is sticky:
+        arithmetic that launders the dimension into ``Unknown`` keeps
+        the taint, which is what lets RPR111 catch a host-clock read
+        three assignments away from the sim-state sink.
+    ``rng_generator``
+        True when the value *is* an RNG generator object (the result of
+        ``make_rng``/``default_rng``); method calls on it produce
+        ``rng``-tainted draws.
+    """
+
+    dim: str = UNKNOWN
+    rng: bool = False
+    wall: bool = False
+    rng_generator: bool = False
+
+    def with_dim(self, dim: str) -> "AbstractValue":
+        return AbstractValue(dim, self.rng, self.wall, self.rng_generator)
+
+    @property
+    def tainted(self) -> bool:
+        return self.rng or self.wall
+
+
+#: The no-information value (module-level singleton for convenience).
+BOTTOM = AbstractValue()
+
+
+def join(a: str, b: str) -> str:
+    """Join two lattice elements at a control-flow merge.
+
+    ``Unknown`` is the identity; equal elements join to themselves;
+    *different concrete* elements join to ``Unknown`` (see module
+    docstring for why not ``Conflict``); ``Conflict`` absorbs.
+    """
+    if a == b:
+        return a
+    if a == UNKNOWN:
+        return b
+    if b == UNKNOWN:
+        return a
+    if a == CONFLICT or b == CONFLICT:
+        return CONFLICT
+    return UNKNOWN
+
+
+def join_values(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    """Pointwise join: dimensions via :func:`join`, taints via union."""
+    return AbstractValue(
+        dim=join(a.dim, b.dim),
+        rng=a.rng or b.rng,
+        wall=a.wall or b.wall,
+        rng_generator=a.rng_generator or b.rng_generator,
+    )
+
+
+def compatible(a: str, b: str) -> bool:
+    """May ``a`` and ``b`` legally meet under ``+``/``-``/``<``?
+
+    ``Unknown`` and ``dimensionless`` are compatible with everything;
+    ``Conflict`` is treated as compatible so one bad node produces one
+    finding rather than a cascade downstream.
+    """
+    if a in (UNKNOWN, CONFLICT, DIMENSIONLESS) or b in (
+        UNKNOWN,
+        CONFLICT,
+        DIMENSIONLESS,
+    ):
+        return True
+    return any(a in group and b in group for group in _ADDITIVE_GROUPS)
+
+
+def additive_transfer(op: str, a: str, b: str) -> str:
+    """Result dimension of ``a <op> b`` for ``+``/``-``/``%``.
+
+    Callers check :func:`compatible` first; an incompatible pair
+    produces ``CONFLICT`` here regardless of the operator.
+    """
+    if not compatible(a, b):
+        return CONFLICT
+    if a == CONFLICT or b == CONFLICT:
+        return CONFLICT
+    if a == UNKNOWN or b == UNKNOWN:
+        return UNKNOWN
+    if a == DIMENSIONLESS:
+        return b
+    if b == DIMENSIONLESS:
+        return a
+    if a == b:
+        # Subtracting two points on a wall axis measures a length.
+        if op == "-" and a in _POINT_AXES:
+            return "duration"
+        return a
+    # Compatible but different: one is a point axis, the other duration.
+    if op == "+" or op == "%":
+        return a if a in _POINT_AXES else b
+    # point - duration -> point; duration - point is a hazard-free
+    # oddity we simply give up on.
+    if a in _POINT_AXES and b == "duration":
+        return a
+    return UNKNOWN
+
+
+def multiplicative_transfer(op: str, a: str, b: str) -> str:
+    """Result dimension of ``a <op> b`` for ``*`` and ``/``.
+
+    Composition, never conflict: unknown pairings yield ``UNKNOWN``.
+    """
+    if a == CONFLICT or b == CONFLICT:
+        return CONFLICT
+    if a == UNKNOWN or b == UNKNOWN:
+        return UNKNOWN
+    if op == "*":
+        if a == DIMENSIONLESS:
+            return b
+        if b == DIMENSIONLESS:
+            return a
+        return _MUL_TABLE.get((a, b)) or _MUL_TABLE.get((b, a)) or UNKNOWN
+    if op == "/":
+        if b == DIMENSIONLESS:
+            return a
+        if a == b:
+            return DIMENSIONLESS
+        if a == DIMENSIONLESS:
+            # 1/x: an inverse dimension we do not model.
+            return UNKNOWN
+        return _DIV_TABLE.get((a, b), UNKNOWN)
+    return UNKNOWN
+
+
+def binop_transfer(op: str, a: str, b: str) -> Tuple[str, bool]:
+    """Dispatch on the operator; returns ``(result_dim, is_hazard)``.
+
+    ``is_hazard`` is True exactly when the pair is additively
+    incompatible under an additive operator -- the RPR101 condition.
+    Unhandled operators (``**``, ``//``, bit ops) return ``UNKNOWN``.
+    """
+    if op in ("+", "-", "%"):
+        if not compatible(a, b):
+            return CONFLICT, True
+        return additive_transfer(op, a, b), False
+    if op in ("*", "/"):
+        return multiplicative_transfer(op, a, b), False
+    if op == "//":
+        # Floor division follows true division's composition.
+        return multiplicative_transfer("/", a, b), False
+    return UNKNOWN, False
+
+
+def comparison_hazard(a: str, b: str) -> bool:
+    """True when ordering ``a`` against ``b`` is dimensionally
+    meaningless -- the RPR102 condition (same relation as addition)."""
+    return not compatible(a, b)
+
+
+def describe(dim: str) -> str:
+    """Human-readable dimension name for finding messages."""
+    return dim

@@ -1,0 +1,246 @@
+"""The units model: dimension facts harvested from the analyzed tree.
+
+Before any function body is interpreted, one pass over every module
+collects the *anchors* the abstract interpreter resolves against:
+
+* **class attribute dimensions** -- from annotated class-body fields
+  (dataclass fields like ``cost: Cost``) and annotated ``self.x:
+  SimTime = ...`` assignments in method bodies, merged along the
+  by-name MRO of :class:`~repro.analysis.project.ProjectModel`;
+* **function summaries** -- parameter and return dimensions read off
+  :mod:`repro.units` annotations for every function and method, the
+  cross-function propagation vehicle: a call site checks its argument
+  dimensions against the callee summary (RPR103) and adopts the
+  callee's return dimension.  Functions without a return annotation
+  get an *inferred* return dimension filled in by the interpreter's
+  first pass (see :func:`~repro.analysis.dataflow.interp.analyze_project`);
+* **scheduler scope** -- which classes are schedulers (by registry
+  membership or a ``Scheduler`` anywhere in their base-name closure),
+  the scope in which RPR110's ordering-sensitivity sinks apply.
+
+Name resolution mirrors the rest of :mod:`repro.analysis`: bare-name,
+same-module-first, degrading to "unknown, give up" rather than guess.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...units import UNIT_NAMES
+from ..project import ProjectModel
+
+__all__ = ["FunctionSummary", "UnitsModel", "build_units_model", "annotation_dim"]
+
+
+#: Typing wrappers unwrapped before matching a units alias:
+#: ``Optional[SimTime]`` and ``Annotated[float, ...]`` both anchor.
+_UNWRAP_NAMES = frozenset({"Optional", "Annotated", "Final", "ClassVar"})
+
+
+def annotation_dim(node: Optional[ast.expr]) -> Optional[str]:
+    """Dimension named by an annotation expression, or ``None``.
+
+    Matches ``SimTime``, ``units.SimTime``, the string form
+    ``"SimTime"``, and one level of ``Optional[...]`` wrapping.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        name = node.value.strip()
+        for wrapper in _UNWRAP_NAMES:
+            prefix = wrapper + "["
+            if name.startswith(prefix) and name.endswith("]"):
+                name = name[len(prefix):-1].strip()
+        name = name.rsplit(".", 1)[-1]
+        return UNIT_NAMES.get(name)
+    if isinstance(node, ast.Name):
+        return UNIT_NAMES.get(node.id)
+    if isinstance(node, ast.Attribute):
+        return UNIT_NAMES.get(node.attr)
+    if isinstance(node, ast.Subscript):
+        head: Optional[str] = None
+        if isinstance(node.value, ast.Name):
+            head = node.value.id
+        elif isinstance(node.value, ast.Attribute):
+            head = node.value.attr
+        if head in _UNWRAP_NAMES:
+            inner = node.slice
+            if isinstance(inner, ast.Tuple) and inner.elts:
+                inner = inner.elts[0]
+            return annotation_dim(inner)
+    return None
+
+
+@dataclass
+class FunctionSummary:
+    """Dimension signature of one function or method."""
+
+    name: str
+    module: str
+    path: str
+    lineno: int
+    #: Enclosing class name for methods, ``None`` for module-level.
+    class_name: Optional[str]
+    #: ``(param_name, dimension-or-None)`` in order, *excluding* a
+    #: leading ``self``/``cls`` for methods.
+    params: Tuple[Tuple[str, Optional[str]], ...]
+    #: Dimension from the return annotation, or ``None``.
+    return_dim: Optional[str] = None
+    #: Dimension inferred by the interpreter's first pass when no
+    #: return annotation anchors it; consulted only as a fallback.
+    inferred_return_dim: Optional[str] = None
+    #: The function definition node, for the interpreter.
+    node: Optional[ast.FunctionDef] = field(default=None, repr=False)
+
+    @property
+    def effective_return_dim(self) -> Optional[str]:
+        return self.return_dim or self.inferred_return_dim
+
+
+def _function_summary(
+    node: ast.FunctionDef,
+    module: str,
+    path: str,
+    class_name: Optional[str],
+) -> FunctionSummary:
+    args = node.args
+    ordered: List[ast.arg] = list(args.posonlyargs) + list(args.args)
+    if class_name is not None and ordered and ordered[0].arg in ("self", "cls"):
+        ordered = ordered[1:]
+    params = tuple(
+        (a.arg, annotation_dim(a.annotation))
+        for a in ordered + list(args.kwonlyargs)
+    )
+    return FunctionSummary(
+        name=node.name,
+        module=module,
+        path=path,
+        lineno=node.lineno,
+        class_name=class_name,
+        params=params,
+        return_dim=annotation_dim(node.returns),
+        node=node,
+    )
+
+
+class UnitsModel:
+    """Everything the interpreter resolves names against."""
+
+    def __init__(self, project: ProjectModel) -> None:
+        self.project = project
+        #: ``(module, class_name) -> {attr: dim}`` from annotations in
+        #: that class's own body (pre-MRO merge).
+        self._own_attr_dims: Dict[Tuple[str, str], Dict[str, str]] = {}
+        #: ``(module, class_name, method) -> summary``.
+        self._methods: Dict[Tuple[str, str, str], FunctionSummary] = {}
+        #: ``(module, func_name) -> summary`` for module-level functions.
+        self._functions: Dict[Tuple[str, str], FunctionSummary] = {}
+        #: class name -> is-scheduler verdict cache.
+        self._scheduler_cache: Dict[Tuple[str, Optional[str]], bool] = {}
+        self._collect()
+
+    # -- collection --------------------------------------------------------
+
+    def _collect(self) -> None:
+        for mod in self.project.modules:
+            for stmt in mod.tree.body:
+                if isinstance(stmt, ast.FunctionDef):
+                    self._functions[(mod.module, stmt.name)] = _function_summary(
+                        stmt, mod.module, mod.path, None
+                    )
+                elif isinstance(stmt, ast.ClassDef):
+                    self._collect_class(stmt, mod.module, mod.path)
+
+    def _collect_class(self, node: ast.ClassDef, module: str, path: str) -> None:
+        attrs: Dict[str, str] = {}
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                dim = annotation_dim(stmt.annotation)
+                if dim is not None:
+                    attrs[stmt.target.id] = dim
+            elif isinstance(stmt, ast.FunctionDef):
+                self._methods[(module, node.name, stmt.name)] = (
+                    _function_summary(stmt, module, path, node.name)
+                )
+                # Annotated self-attribute assignments anywhere in the
+                # method body contribute attribute dimensions too.
+                for sub in ast.walk(stmt):
+                    if (
+                        isinstance(sub, ast.AnnAssign)
+                        and isinstance(sub.target, ast.Attribute)
+                        and isinstance(sub.target.value, ast.Name)
+                        and sub.target.value.id == "self"
+                    ):
+                        dim = annotation_dim(sub.annotation)
+                        if dim is not None:
+                            attrs.setdefault(sub.target.attr, dim)
+        self._own_attr_dims[(module, node.name)] = attrs
+
+    # -- queries -----------------------------------------------------------
+
+    def attr_dim(
+        self, class_name: str, attr: str, from_module: Optional[str] = None
+    ) -> Optional[str]:
+        """Declared dimension of ``class_name.attr``, walking the MRO."""
+        for info in self.project.mro(class_name, from_module):
+            own = self._own_attr_dims.get((info.module, info.name))
+            if own and attr in own:
+                return own[attr]
+        return None
+
+    def method_summary(
+        self, class_name: str, method: str, from_module: Optional[str] = None
+    ) -> Optional[FunctionSummary]:
+        """First summary of ``method`` along the by-name MRO."""
+        for info in self.project.mro(class_name, from_module):
+            summary = self._methods.get((info.module, info.name, method))
+            if summary is not None:
+                return summary
+        return None
+
+    def function_summary(
+        self, module: str, name: str
+    ) -> Optional[FunctionSummary]:
+        """Module-level function summary, same-module only."""
+        return self._functions.get((module, name))
+
+    def is_scheduler_class(
+        self, class_name: str, from_module: Optional[str] = None
+    ) -> bool:
+        """Scheduler scope for RPR110: the class is registered in
+        ``SCHEDULER_CLASSES`` or carries ``Scheduler`` /
+        ``VirtualTimeScheduler`` anywhere in its base-name closure."""
+        key = (class_name, from_module)
+        cached = self._scheduler_cache.get(key)
+        if cached is not None:
+            return cached
+        registered = {r.class_name for r in self.project.registered}
+        closure = self.project.base_name_closure(class_name, from_module)
+        verdict = bool(
+            closure & registered
+            or "Scheduler" in closure
+            or "VirtualTimeScheduler" in closure
+        )
+        self._scheduler_cache[key] = verdict
+        return verdict
+
+    def all_summaries(self) -> List[FunctionSummary]:
+        """Every collected summary (methods then functions), in a
+        deterministic order for the inference pass."""
+        out = [self._methods[k] for k in sorted(self._methods)]
+        out.extend(self._functions[k] for k in sorted(self._functions))
+        return out
+
+
+def build_units_model(project: ProjectModel) -> UnitsModel:
+    """Build (or fetch the cached) :class:`UnitsModel` for a project."""
+    cached = project.cache.get("units_model")
+    if isinstance(cached, UnitsModel):
+        return cached
+    model = UnitsModel(project)
+    project.cache["units_model"] = model
+    return model

@@ -19,9 +19,15 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["MethodInfo", "ClassInfo", "RegisteredClass", "ProjectModel"]
+__all__ = [
+    "MethodInfo",
+    "ClassInfo",
+    "ModuleInfo",
+    "RegisteredClass",
+    "ProjectModel",
+]
 
 
 @dataclass
@@ -53,6 +59,17 @@ class ClassInfo:
     col: int
     bases: Tuple[str, ...]
     methods: Dict[str, MethodInfo] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One analyzed module: its tree plus naming, kept for passes that
+    need whole bodies rather than the light summaries above (the
+    dataflow layer re-walks function bodies in control-flow order)."""
+
+    tree: ast.Module
+    module: str
+    path: str
 
 
 @dataclass(frozen=True)
@@ -197,10 +214,17 @@ class ProjectModel:
         self.classes: Dict[str, List[ClassInfo]] = {}
         #: Classes named in a ``SCHEDULER_CLASSES`` registration.
         self.registered: List[RegisteredClass] = []
+        #: Every analyzed module with its full tree, in analysis order.
+        self.modules: List[ModuleInfo] = []
+        #: Scratch space shared by cooperating rules so expensive
+        #: whole-project passes (the dataflow analysis) run once per
+        #: analyzer run however many rules consume them.
+        self.cache: Dict[str, Any] = {}
 
     # -- collection (called by the engine) --------------------------------
 
     def add_module(self, tree: ast.Module, module: str, path: str) -> None:
+        self.modules.append(ModuleInfo(tree=tree, module=module, path=path))
         for stmt in tree.body:
             if isinstance(stmt, ast.ClassDef):
                 info = summarize_class(stmt, module, path)
@@ -270,6 +294,20 @@ class ProjectModel:
             if method in info.methods:
                 return info, info.methods[method]
         return None
+
+    def base_name_closure(
+        self, class_name: str, from_module: Optional[str] = None
+    ) -> "set[str]":
+        """Every class *name* reachable through the by-name MRO --
+        including base names that resolve to nothing in the analyzed
+        tree.  Scope checks like "is this a Scheduler subclass" want the
+        unresolved names too: a fixture deriving from an imported
+        ``Scheduler`` still declares its intent in the base list."""
+        names: set[str] = {class_name}
+        for info in self.mro(class_name, from_module):
+            names.add(info.name)
+            names.update(info.bases)
+        return names
 
     def derives_from(
         self, class_name: str, ancestor: str, from_module: Optional[str] = None

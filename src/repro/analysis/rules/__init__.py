@@ -23,7 +23,20 @@ RPR022 index-surface         conformance: ``_index_spec`` overrides are
 RPR030 runtime-assert        sim-purity: no ``assert`` for runtime
                              invariants (stripped under ``python -O``)
 RPR090 parse-error           file could not be parsed (engine built-in)
+RPR101 dimension-arithmetic  units: no additive arithmetic across
+                             incompatible time/cost dimensions
+RPR102 dimension-comparison  units: no ordering comparisons across
+                             incompatible dimensions
+RPR103 dimension-boundary    units: call arguments, returns, and annotated
+                             assignments match the declared dimension
+RPR110 rng-ordering-taint    taint: seeded-RNG draws never reach
+                             ordering-sensitive scheduler state
+RPR111 wall-clock-taint      taint: host-clock-derived values never flow
+                             into sim_time/virtual_time state
 ====== ===================== ==============================================
+
+The RPR1xx block is powered by the flow-sensitive abstract interpreter
+in :mod:`repro.analysis.dataflow`; see DESIGN.md §17.
 """
 
 from __future__ import annotations
@@ -32,6 +45,13 @@ from typing import Dict, List, Type
 
 from ..base import Rule
 from .conformance import IndexSurfaceRule, SchedulerSurfaceRule, TracerPairingRule
+from .dataflow import (
+    DimensionArithmeticRule,
+    DimensionBoundaryRule,
+    DimensionComparisonRule,
+    RngOrderingTaintRule,
+    WallClockTaintRule,
+)
 from .determinism import UnseededRngRule, WallClockRule
 from .hygiene import FloatEqualityRule, FrozenRequestFieldRule, UnorderedIterationRule
 from .purity import RuntimeAssertRule
@@ -48,6 +68,11 @@ __all__ = [
     "TracerPairingRule",
     "IndexSurfaceRule",
     "RuntimeAssertRule",
+    "DimensionArithmeticRule",
+    "DimensionComparisonRule",
+    "DimensionBoundaryRule",
+    "RngOrderingTaintRule",
+    "WallClockTaintRule",
 ]
 
 #: Every rule class, in catalogue (code) order.
@@ -61,6 +86,11 @@ ALL_RULES: List[Type[Rule]] = [
     TracerPairingRule,
     IndexSurfaceRule,
     RuntimeAssertRule,
+    DimensionArithmeticRule,
+    DimensionComparisonRule,
+    DimensionBoundaryRule,
+    RngOrderingTaintRule,
+    WallClockTaintRule,
 ]
 
 

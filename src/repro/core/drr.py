@@ -20,6 +20,7 @@ from collections import deque
 from typing import Deque, Optional
 
 from ..errors import ConfigurationError, SchedulerError
+from ..units import Cost, Rate, SimTime
 from ..estimation.base import CostEstimator
 from ..estimation.oracle import OracleEstimator
 from .request import Request, RequestPhase
@@ -45,16 +46,16 @@ class DRRScheduler(Scheduler):
     def __init__(
         self,
         num_threads: int,
-        thread_rate: float = 1.0,
+        thread_rate: Rate = 1.0,
         estimator: Optional[CostEstimator] = None,
-        quantum: Optional[float] = None,
+        quantum: Optional[Cost] = None,
     ) -> None:
         super().__init__(num_threads, thread_rate)
         if quantum is not None and quantum <= 0:
             raise ConfigurationError(f"quantum must be positive, got {quantum}")
         self._estimator = estimator if estimator is not None else OracleEstimator()
         self._configured_quantum = quantum
-        self._adaptive_quantum = 1.0
+        self._adaptive_quantum: Cost = 1.0
         self._ring: Deque[TenantState] = deque()
         self._in_ring: set[str] = set()
         # Whether the flow at the ring head has received its quantum for
@@ -67,21 +68,21 @@ class DRRScheduler(Scheduler):
         # debits made before the reset.  Cancel consults these so a
         # cancelled request refunds exactly the debits still standing.
         self._epoch: dict[str, int] = {}
-        self._debits: dict[int, tuple[int, float]] = {}
+        self._debits: dict[int, tuple[int, Cost]] = {}
 
     @property
     def estimator(self) -> CostEstimator:
         return self._estimator
 
     @property
-    def quantum(self) -> float:
+    def quantum(self) -> Cost:
         if self._configured_quantum is not None:
             return self._configured_quantum
         return self._adaptive_quantum
 
     # -- scheduler contract ----------------------------------------------------
 
-    def enqueue(self, request: Request, now: float) -> None:
+    def enqueue(self, request: Request, now: SimTime) -> None:
         state = self._state_for(request)
         state.queue.append(request)
         if state.tenant_id not in self._in_ring:
@@ -91,7 +92,7 @@ class DRRScheduler(Scheduler):
             self._in_ring.add(state.tenant_id)
         self._note_enqueued(request)
 
-    def dequeue(self, thread_id: int, now: float) -> Optional[Request]:
+    def dequeue(self, thread_id: int, now: SimTime) -> Optional[Request]:
         self._check_thread(thread_id)
         visits = 0
         # Each full pass around the ring grows every deficit by one
@@ -145,7 +146,7 @@ class DRRScheduler(Scheduler):
     def _bump_epoch(self, tenant_id: str) -> None:
         self._epoch[tenant_id] = self._epoch.get(tenant_id, 0) + 1
 
-    def _note_debit(self, request: Request, amount: float) -> None:
+    def _note_debit(self, request: Request, amount: Cost) -> None:
         epoch = self._epoch.get(request.tenant_id, 0)
         stored_epoch, standing = self._debits.get(request.seqno, (epoch, 0.0))
         if stored_epoch != epoch:
@@ -153,7 +154,7 @@ class DRRScheduler(Scheduler):
         self._debits[request.seqno] = (epoch, standing + amount)
 
     def _cancel_running(
-        self, state: TenantState, request: Request, now: float
+        self, state: TenantState, request: Request, now: SimTime
     ) -> bool:
         """Refund the deficit charged for an in-flight request: dispatch
         debited the estimate (leaving ``credit = estimate``) and refresh
@@ -172,7 +173,7 @@ class DRRScheduler(Scheduler):
         state.running -= 1
         return True
 
-    def refresh(self, request: Request, usage: float, now: float) -> None:
+    def refresh(self, request: Request, usage: Cost, now: SimTime) -> None:
         request.reported_usage += usage
         if usage < request.credit:
             request.credit -= usage
@@ -182,7 +183,7 @@ class DRRScheduler(Scheduler):
             self._note_debit(request, usage - request.credit)
             request.credit = 0.0
 
-    def complete(self, request: Request, usage: float, now: float) -> None:
+    def complete(self, request: Request, usage: Cost, now: SimTime) -> None:
         if request.phase == RequestPhase.CANCELLED:
             return  # stale completion racing a cancel: already refunded
         state = self._tenants[request.tenant_id]

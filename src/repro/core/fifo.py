@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Optional
 
+from ..units import Rate, SimTime
 from .request import Request
 from .scheduler import Scheduler, TenantState
 
@@ -23,16 +24,16 @@ class FIFOScheduler(Scheduler):
 
     name = "fifo"
 
-    def __init__(self, num_threads: int, thread_rate: float = 1.0) -> None:
+    def __init__(self, num_threads: int, thread_rate: Rate = 1.0) -> None:
         super().__init__(num_threads, thread_rate)
         self._queue: Deque[Request] = deque()
 
-    def enqueue(self, request: Request, now: float) -> None:
+    def enqueue(self, request: Request, now: SimTime) -> None:
         self._state_for(request)  # track tenants for introspection
         self._queue.append(request)
         self._note_enqueued(request)
 
-    def dequeue(self, thread_id: int, now: float) -> Optional[Request]:
+    def dequeue(self, thread_id: int, now: SimTime) -> Optional[Request]:
         self._check_thread(thread_id)
         if not self._queue:
             return None
@@ -41,7 +42,7 @@ class FIFOScheduler(Scheduler):
         return request
 
     def _cancel_queued(
-        self, state: TenantState, request: Request, now: float
+        self, state: TenantState, request: Request, now: SimTime
     ) -> bool:
         # FIFO keeps one global queue; per-tenant queues are unused.
         try:

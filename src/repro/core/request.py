@@ -20,6 +20,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from ..units import Cost, Duration, SimTime, Weight
+
 __all__ = ["Request", "RequestPhase"]
 
 _SEQUENCE = itertools.count()
@@ -63,10 +65,10 @@ class Request:
     """
 
     tenant_id: str
-    cost: float
+    cost: Cost
     api: str = "default"
-    arrival_time: float = -1.0
-    weight: float = 1.0
+    arrival_time: SimTime = -1.0
+    weight: Weight = 1.0
 
     #: Monotonically increasing global sequence number; used as the final
     #: deterministic tie-breaker in every scheduler.
@@ -75,18 +77,18 @@ class Request:
     # -- scheduling bookkeeping (owned by the scheduler) ------------------
     #: Cost the scheduler charged the tenant's virtual clock at dispatch
     #: time (``l_r`` in the paper; equals ``cost`` under oracle costs).
-    charged_cost: float = 0.0
+    charged_cost: Cost = 0.0
     #: Remaining pre-paid credit ``c_f^j`` from Figure 7 -- how much of the
     #: charged cost has not yet been matched by measured usage.
-    credit: float = 0.0
+    credit: Cost = 0.0
     #: Measured resource usage reported to the scheduler so far (through
     #: refresh charging and completion).
-    reported_usage: float = 0.0
+    reported_usage: Cost = 0.0
 
     # -- lifecycle (owned by the simulator) --------------------------------
     phase: str = RequestPhase.QUEUED
-    dispatch_time: float = -1.0
-    completion_time: float = -1.0
+    dispatch_time: SimTime = -1.0
+    completion_time: SimTime = -1.0
     thread_id: int = -1
 
     #: Optional back-reference to the workload source that issued the
@@ -99,14 +101,14 @@ class Request:
         return (self.tenant_id, self.api)
 
     @property
-    def latency(self) -> float:
+    def latency(self) -> Duration:
         """Queueing + service time; only valid once the request is DONE."""
         if self.completion_time < 0 or self.arrival_time < 0:
             raise ValueError("latency undefined before completion")
         return self.completion_time - self.arrival_time
 
     @property
-    def queueing_delay(self) -> float:
+    def queueing_delay(self) -> Duration:
         """Time spent waiting in the scheduler before dispatch."""
         if self.dispatch_time < 0 or self.arrival_time < 0:
             raise ValueError("queueing delay undefined before dispatch")

@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Optional
 
+from ..units import Rate, SimTime
 from .request import Request
 from .scheduler import Scheduler, TenantState
 
@@ -23,13 +24,13 @@ class RoundRobinScheduler(Scheduler):
 
     name = "round-robin"
 
-    def __init__(self, num_threads: int, thread_rate: float = 1.0) -> None:
+    def __init__(self, num_threads: int, thread_rate: Rate = 1.0) -> None:
         super().__init__(num_threads, thread_rate)
         # Ring of backlogged tenants; a tenant appears at most once.
         self._ring: Deque[TenantState] = deque()
         self._in_ring: set[str] = set()
 
-    def enqueue(self, request: Request, now: float) -> None:
+    def enqueue(self, request: Request, now: SimTime) -> None:
         state = self._state_for(request)
         state.queue.append(request)
         if state.tenant_id not in self._in_ring:
@@ -37,7 +38,7 @@ class RoundRobinScheduler(Scheduler):
             self._in_ring.add(state.tenant_id)
         self._note_enqueued(request)
 
-    def dequeue(self, thread_id: int, now: float) -> Optional[Request]:
+    def dequeue(self, thread_id: int, now: SimTime) -> Optional[Request]:
         self._check_thread(thread_id)
         if not self._ring:
             return None
@@ -51,7 +52,7 @@ class RoundRobinScheduler(Scheduler):
         return request
 
     def _cancel_queued(
-        self, state: TenantState, request: Request, now: float
+        self, state: TenantState, request: Request, now: SimTime
     ) -> bool:
         if not super()._cancel_queued(state, request, now):
             return False

@@ -35,6 +35,7 @@ from collections import deque
 from typing import TYPE_CHECKING, ClassVar, Deque, Dict, List, Optional, Sequence
 
 from ..errors import ConfigurationError, SchedulerError
+from ..units import Cost, Rate, SimTime, VirtualTime, Weight
 from .request import Request, RequestPhase
 
 if TYPE_CHECKING:  # import cycle: repro.obs is instrumented *by* core
@@ -85,16 +86,16 @@ class TenantState:
         "sel_version",
     )
 
-    def __init__(self, tenant_id: str, weight: float) -> None:
+    def __init__(self, tenant_id: str, weight: Weight) -> None:
         if weight <= 0:
             raise ConfigurationError(f"tenant weight must be positive, got {weight}")
         self.tenant_id = tenant_id
-        self.weight = weight
+        self.weight: Weight = weight
         self.queue: Deque[Request] = deque()
-        self.start_tag = 0.0
+        self.start_tag: VirtualTime = 0.0
         self.running = 0
         self.active = False
-        self.deficit = 0.0
+        self.deficit: Cost = 0.0
         self.sel_version = 0
 
     @property
@@ -115,7 +116,7 @@ class Scheduler(ABC):
     #: Registry name; subclasses override.
     name: ClassVar[str] = "scheduler"
 
-    def __init__(self, num_threads: int, thread_rate: float = 1.0) -> None:
+    def __init__(self, num_threads: int, thread_rate: Rate = 1.0) -> None:
         if num_threads < 1:
             raise ConfigurationError(f"num_threads must be >= 1, got {num_threads}")
         if thread_rate <= 0:
@@ -142,11 +143,11 @@ class Scheduler(ABC):
         return self._num_threads
 
     @property
-    def thread_rate(self) -> float:
+    def thread_rate(self) -> Rate:
         return self._thread_rate
 
     @property
-    def capacity(self) -> float:
+    def capacity(self) -> Rate:
         """Aggregate capacity of the pool in cost units per second."""
         return self._num_threads * self._thread_rate
 
@@ -195,15 +196,15 @@ class Scheduler(ABC):
     # -- scheduler contract ---------------------------------------------------
 
     @abstractmethod
-    def enqueue(self, request: Request, now: float) -> None:
-        """Admit ``request`` at wallclock time ``now``."""
+    def enqueue(self, request: Request, now: SimTime) -> None:
+        """Admit ``request`` at simulated time ``now``."""
 
     @abstractmethod
-    def dequeue(self, thread_id: int, now: float) -> Optional[Request]:
+    def dequeue(self, thread_id: int, now: SimTime) -> Optional[Request]:
         """Pick the next request for worker ``thread_id``, or ``None``."""
 
     def dequeue_batch(
-        self, thread_ids: Sequence[int], now: float
+        self, thread_ids: Sequence[int], now: SimTime
     ) -> List[Request]:
         """Dispatch one request per thread in ``thread_ids``, in order,
         stopping early when the backlog drains.
@@ -224,11 +225,11 @@ class Scheduler(ABC):
             batch.append(request)
         return batch
 
-    def refresh(self, request: Request, usage: float, now: float) -> None:
+    def refresh(self, request: Request, usage: Cost, now: SimTime) -> None:
         """Report interim resource usage of a running request (default: ignore)."""
         request.reported_usage += usage
 
-    def complete(self, request: Request, usage: float, now: float) -> None:
+    def complete(self, request: Request, usage: Cost, now: SimTime) -> None:
         """Report completion with the final usage increment."""
         if request.phase == RequestPhase.CANCELLED:
             return  # stale completion racing a cancel: already refunded
@@ -236,7 +237,7 @@ class Scheduler(ABC):
         request.phase = RequestPhase.DONE
         self._completed += 1
 
-    def cancel(self, request: Request, now: float) -> bool:
+    def cancel(self, request: Request, now: SimTime) -> bool:
         """Remove a queued or running request, refunding every charge.
 
         Mirrors the reconciliation ``complete()`` performs, but in the
@@ -285,7 +286,7 @@ class Scheduler(ABC):
     # -- cancellation hooks ----------------------------------------------------
 
     def _cancel_queued(
-        self, state: TenantState, request: Request, now: float
+        self, state: TenantState, request: Request, now: SimTime
     ) -> bool:
         """Remove a queued request from its tenant queue.  Subclasses
         with auxiliary structures (global FIFO queue, round-robin ring,
@@ -297,14 +298,14 @@ class Scheduler(ABC):
         return True
 
     def _cancel_running(
-        self, state: TenantState, request: Request, now: float
+        self, state: TenantState, request: Request, now: SimTime
     ) -> bool:
         """Refund the dispatch-time charge of a running request.  The
         base schedulers (FIFO, round-robin) charge nothing at dispatch,
         so there is nothing to undo."""
         return True
 
-    def _trace_virtual_time(self) -> Optional[float]:
+    def _trace_virtual_time(self) -> Optional[VirtualTime]:
         """Virtual time recorded in cancel trace events (``None`` for
         schedulers without a virtual clock)."""
         return None
@@ -329,7 +330,7 @@ class Scheduler(ABC):
         request.phase = RequestPhase.QUEUED
         self._size += 1
 
-    def _note_dispatched(self, request: Request, thread_id: int, now: float) -> None:
+    def _note_dispatched(self, request: Request, thread_id: int, now: SimTime) -> None:
         request.phase = RequestPhase.RUNNING
         request.thread_id = thread_id
         request.dispatch_time = now

@@ -77,6 +77,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union, cast
 
 from ..errors import SchedulerError
 from ..estimation.base import CostEstimator
+from ..units import Cost, Scalar, VirtualTime
 from .scheduler import MIN_COST, TenantState
 
 __all__ = ["SelectionIndex"]
@@ -156,14 +157,14 @@ class SelectionIndex:
         estimator: CostEstimator,
         finish: bool = False,
         start: bool = False,
-        staggers: Sequence[float] = (),
+        staggers: Sequence[Scalar] = (),
     ) -> None:
         self._estimator = estimator
         self._heaps: List[List[_HeapEntry]] = []
         self._limits: List[int] = []
         self._finish_heap = self._new_heap() if finish else -1
         self._start_heap = self._new_heap() if start else -1
-        self._staggers: Tuple[float, ...] = tuple(staggers)
+        self._staggers: Tuple[Scalar, ...] = tuple(staggers)
         if any(
             a > b for a, b in zip(self._staggers, self._staggers[1:])
         ):
@@ -225,7 +226,9 @@ class SelectionIndex:
         """Invalidate every entry of a tenant that left the backlog."""
         state.sel_version += 1
 
-    def _snapshot(self, record: _LogRecord) -> Tuple[float, float, float, int]:
+    def _snapshot(
+        self, record: _LogRecord
+    ) -> Tuple[VirtualTime, VirtualTime, Cost, int]:
         """Memoized ``(start, finish, estimate, seqno)`` for a still-fresh
         log record.  Safe to compute at any later sync: every mutation of
         the underlying state pairs with a new touch, which supersedes
@@ -240,7 +243,7 @@ class SelectionIndex:
             start = state.start_tag
             snap = (start, start + estimate / state.weight, estimate, head.seqno)
             record[2] = snap
-        return cast(Tuple[float, float, float, int], snap)
+        return cast(Tuple[VirtualTime, VirtualTime, Cost, int], snap)
 
     def _sync_finish(self) -> None:
         log = self._log
@@ -387,17 +390,17 @@ class SelectionIndex:
         entry = self._peek(self._start_heap)
         return cast(TenantState, entry[-1]) if entry is not None else None
 
-    def min_start_tag(self) -> Optional[float]:
+    def min_start_tag(self) -> Optional[VirtualTime]:
         """Smallest start tag over backlogged tenants (WF2Q+ virtual-time
         lower bound), or ``None`` when the backlog is empty."""
         if self._start_heap < 0:
             raise SchedulerError("selection index was built without a start heap")
         self._sync_start()
         entry = self._peek(self._start_heap)
-        return cast(float, entry[0]) if entry is not None else None
+        return cast(VirtualTime, entry[0]) if entry is not None else None
 
     def min_eligible_finish(
-        self, slot: int, threshold: float
+        self, slot: int, threshold: VirtualTime
     ) -> Optional[TenantState]:
         """Smallest-finish-tag tenant whose staggered start tag is within
         ``threshold`` for stagger slot ``slot``.
@@ -462,7 +465,7 @@ class SelectionIndex:
     # -- introspection -------------------------------------------------------
 
     @property
-    def staggers(self) -> Tuple[float, ...]:
+    def staggers(self) -> Tuple[Scalar, ...]:
         return self._staggers
 
     def stats(self) -> Dict[str, int]:

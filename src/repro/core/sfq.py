@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from ..errors import SchedulerError
+from ..units import VirtualTime
 from .scheduler import TenantState
 from .vt_base import VirtualTimeScheduler
 
@@ -28,13 +29,13 @@ class SFQScheduler(VirtualTimeScheduler):
 
     name = "sfq"
 
-    def _select(self, thread_id: int, vnow: float) -> Optional[TenantState]:
+    def _select(self, thread_id: int, vnow: VirtualTime) -> Optional[TenantState]:
         return self._min_start(self._backlogged.values())
 
     def _index_spec(self) -> Optional[Dict[str, Any]]:
         return {"start": True}
 
-    def _select_indexed(self, thread_id: int, vnow: float) -> Optional[TenantState]:
+    def _select_indexed(self, thread_id: int, vnow: VirtualTime) -> Optional[TenantState]:
         # Always finds a tenant while anything is backlogged, so the
         # fallback path never fires for SFQ.
         index = self._index

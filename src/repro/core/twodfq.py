@@ -40,6 +40,7 @@ from typing import Any, Dict, Optional, Union
 from ..errors import SchedulerError
 from ..estimation.base import CostEstimator
 from ..estimation.pessimistic import PessimisticEstimator
+from ..units import Cost, Rate, Scalar, VirtualTime
 from .scheduler import MIN_COST, TenantState
 from .vt_base import VirtualTimeScheduler
 
@@ -56,7 +57,7 @@ class TwoDFQScheduler(VirtualTimeScheduler):
 
     name = "2dfq"
 
-    def _select(self, thread_id: int, vnow: float) -> Optional[TenantState]:
+    def _select(self, thread_id: int, vnow: VirtualTime) -> Optional[TenantState]:
         # Figure 7, line 20: E_now = { f in A : S_f - (i/n) L^f_max < v(now) }.
         # The stagger is expressed in virtual-time units; following the
         # paper's formulation the offset is the raw estimated cost (the
@@ -103,7 +104,7 @@ class TwoDFQScheduler(VirtualTimeScheduler):
             "staggers": tuple(i / n for i in range(n)),
         }
 
-    def _select_indexed(self, thread_id: int, vnow: float) -> Optional[TenantState]:
+    def _select_indexed(self, thread_id: int, vnow: VirtualTime) -> Optional[TenantState]:
         index = self._index
         if index is None:  # dequeue routes here only in indexed mode
             raise SchedulerError("indexed selection invoked without an index")
@@ -116,7 +117,7 @@ class TwoDFQScheduler(VirtualTimeScheduler):
     def _trace_stagger(self, thread_id: int) -> float:
         return thread_id / self._num_threads
 
-    def _trace_eligible_count(self, thread_id: int, vnow: float) -> int:
+    def _trace_eligible_count(self, thread_id: int, vnow: VirtualTime) -> int:
         # Tracing only: the staggered eligibility set of Figure 7 line 20
         # for this specific thread, |{ f : S_f - (i/n) L^f_max <= v }|.
         stagger = thread_id / self._num_threads
@@ -146,10 +147,10 @@ class TwoDFQEScheduler(TwoDFQScheduler):
     def __init__(
         self,
         num_threads: int,
-        thread_rate: float = 1.0,
+        thread_rate: Rate = 1.0,
         estimator: Optional[CostEstimator] = None,
-        alpha: float = 0.99,
-        initial_estimate: float = 1.0,
+        alpha: Scalar = 0.99,
+        initial_estimate: Cost = 1.0,
         indexed: Union[bool, str] = "auto",
     ) -> None:
         if estimator is None:

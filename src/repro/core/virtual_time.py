@@ -18,6 +18,7 @@ freezes; newly arriving tenants fast-forward their start tags with
 from __future__ import annotations
 
 from ..errors import ConfigurationError, SchedulerError
+from ..units import Rate, SimTime, VirtualTime, Weight
 
 __all__ = ["VirtualClock"]
 
@@ -40,29 +41,29 @@ class VirtualClock:
         "_active_weight",
     )
 
-    def __init__(self, capacity: float) -> None:
+    def __init__(self, capacity: Rate) -> None:
         if capacity <= 0:
             raise ConfigurationError(f"capacity must be positive, got {capacity}")
-        self._capacity = float(capacity)
-        self._value = 0.0
-        self._base = 0.0
-        self._last_wallclock = 0.0
-        self._active_weight = 0.0
+        self._capacity: Rate = float(capacity)
+        self._value: VirtualTime = 0.0
+        self._base: VirtualTime = 0.0
+        self._last_wallclock: SimTime = 0.0
+        self._active_weight: Weight = 0.0
 
     # -- observation -------------------------------------------------------
 
     @property
-    def capacity(self) -> float:
+    def capacity(self) -> Rate:
         """Aggregate capacity in cost units per second."""
         return self._capacity
 
     @property
-    def active_weight(self) -> float:
+    def active_weight(self) -> Weight:
         """Sum of weights of currently active tenants."""
         return self._active_weight
 
     @property
-    def value(self) -> float:
+    def value(self) -> VirtualTime:
         """Virtual time at the last :meth:`advance` call."""
         return self._value
 
@@ -75,8 +76,8 @@ class VirtualClock:
 
     # -- mutation -----------------------------------------------------------
 
-    def advance(self, now: float) -> float:
-        """Advance virtual time to wallclock ``now`` and return it.
+    def advance(self, now: SimTime) -> VirtualTime:
+        """Advance virtual time to simulated ``now`` and return it.
 
         ``now`` must be monotonically non-decreasing across calls; the
         discrete-event simulator guarantees this.
@@ -94,7 +95,7 @@ class VirtualClock:
             self._last_wallclock = now
         return self._value
 
-    def add_weight(self, weight: float, now: float) -> None:
+    def add_weight(self, weight: Weight, now: SimTime) -> None:
         """Register an activating tenant.  Call :meth:`advance` first is
         unnecessary -- this method advances internally so the slope change
         takes effect exactly at ``now``."""
@@ -103,7 +104,7 @@ class VirtualClock:
         self.advance(now)
         self._active_weight += weight
 
-    def remove_weight(self, weight: float, now: float) -> None:
+    def remove_weight(self, weight: Weight, now: SimTime) -> None:
         """Deregister a deactivating tenant."""
         self.advance(now)
         self._active_weight -= weight
@@ -114,7 +115,7 @@ class VirtualClock:
         if self._active_weight < 1e-12:
             self._active_weight = 0.0
 
-    def jump_to(self, value: float) -> None:
+    def jump_to(self, value: VirtualTime) -> None:
         """Raise virtual time to ``value`` if it is ahead of the clock.
 
         Used by the WF2Q+ virtual-time function
@@ -123,7 +124,7 @@ class VirtualClock:
         if value > self._value:
             self._value = value
 
-    def rewind_jump(self, floor: float) -> None:
+    def rewind_jump(self, floor: VirtualTime) -> None:
         """Retract jump elevation down to ``max(base, floor)``, where the
         base is the wall-driven value had no jump ever happened.
 

@@ -66,6 +66,7 @@ if TYPE_CHECKING:
 
 from ..errors import ConfigurationError, SchedulerError
 from ..estimation.base import CostEstimator
+from ..units import Cost, Rate, SimTime, VirtualTime
 from ..estimation.oracle import OracleEstimator
 from .request import Request, RequestPhase
 from .scheduler import MIN_COST, Scheduler, TenantState
@@ -115,7 +116,7 @@ class VirtualTimeScheduler(Scheduler):
     def __init__(
         self,
         num_threads: int,
-        thread_rate: float = 1.0,
+        thread_rate: Rate = 1.0,
         estimator: Optional[CostEstimator] = None,
         indexed: Union[bool, str] = "auto",
     ) -> None:
@@ -172,7 +173,7 @@ class VirtualTimeScheduler(Scheduler):
     def virtual_clock(self) -> VirtualClock:
         return self._clock
 
-    def virtual_time(self, now: float) -> float:
+    def virtual_time(self, now: SimTime) -> VirtualTime:
         """Current system virtual time ``v(now)`` (advances the clock)."""
         return self._clock.advance(now)
 
@@ -219,7 +220,7 @@ class VirtualTimeScheduler(Scheduler):
 
     # -- scheduler contract ------------------------------------------------------
 
-    def enqueue(self, request: Request, now: float) -> None:
+    def enqueue(self, request: Request, now: SimTime) -> None:
         state = self._state_for(request)
         trace = self._trace
         if not state.active:
@@ -267,7 +268,7 @@ class VirtualTimeScheduler(Scheduler):
                 backlog=self._size,
             )
 
-    def dequeue(self, thread_id: int, now: float) -> Optional[Request]:
+    def dequeue(self, thread_id: int, now: SimTime) -> Optional[Request]:
         self._check_thread(thread_id)
         if not self._backlogged:
             return None
@@ -366,7 +367,7 @@ class VirtualTimeScheduler(Scheduler):
         return request
 
     def dequeue_batch(
-        self, thread_ids: Sequence[int], now: float
+        self, thread_ids: Sequence[int], now: SimTime
     ) -> List[Request]:
         """Batched :meth:`dequeue`: one dispatch per thread id, in
         order, stopping early when the backlog drains.
@@ -440,7 +441,7 @@ class VirtualTimeScheduler(Scheduler):
             batch.append(request)
         return batch
 
-    def refresh(self, request: Request, usage: float, now: float) -> None:
+    def refresh(self, request: Request, usage: Cost, now: SimTime) -> None:
         """Refresh charging (Figure 7, Refresh): consume pre-paid credit,
         then charge any excess to the tenant's clock immediately."""
         request.reported_usage += usage
@@ -463,7 +464,7 @@ class VirtualTimeScheduler(Scheduler):
                     start_tag=state.start_tag,
                 )
 
-    def complete(self, request: Request, usage: float, now: float) -> None:
+    def complete(self, request: Request, usage: Cost, now: SimTime) -> None:
         """Retroactive charging (Figure 7, Complete): reconcile the final
         usage increment against the remaining credit.  If the request was
         overcharged the adjustment is negative -- a refund.
@@ -528,7 +529,7 @@ class VirtualTimeScheduler(Scheduler):
     # -- cancellation ---------------------------------------------------------------
 
     def _cancel_queued(
-        self, state: TenantState, request: Request, now: float
+        self, state: TenantState, request: Request, now: SimTime
     ) -> bool:
         """Remove a queued request.  Nothing has been charged for a
         queued request (charges happen at dispatch), so only the backlog
@@ -561,7 +562,7 @@ class VirtualTimeScheduler(Scheduler):
         return True
 
     def _cancel_running(
-        self, state: TenantState, request: Request, now: float
+        self, state: TenantState, request: Request, now: SimTime
     ) -> bool:
         """Refund the virtual-time charge of an in-flight request.
 
@@ -604,16 +605,16 @@ class VirtualTimeScheduler(Scheduler):
                 )
         return True
 
-    def _trace_virtual_time(self) -> Optional[float]:
+    def _trace_virtual_time(self) -> Optional[VirtualTime]:
         return self._clock.value
 
     # -- policy hooks ---------------------------------------------------------------
 
-    def _adjust_virtual_time(self, vnow: float) -> float:
+    def _adjust_virtual_time(self, vnow: VirtualTime) -> VirtualTime:
         """Hook for policies that reshape virtual time (WF2Q+)."""
         return vnow
 
-    def _select(self, thread_id: int, vnow: float) -> Optional[TenantState]:
+    def _select(self, thread_id: int, vnow: VirtualTime) -> Optional[TenantState]:
         """Choose a backlogged tenant for ``thread_id`` at virtual time
         ``vnow``; return ``None`` if no tenant is eligible under the
         policy (the framework then calls :meth:`_fallback`).
@@ -624,7 +625,7 @@ class VirtualTimeScheduler(Scheduler):
         """
         raise NotImplementedError
 
-    def _fallback(self, thread_id: int, vnow: float) -> Optional[TenantState]:
+    def _fallback(self, thread_id: int, vnow: VirtualTime) -> Optional[TenantState]:
         """Work-conserving choice when nothing is eligible.  Default:
         smallest finish tag, i.e. the WFQ decision."""
         return self._min_finish(self._backlogged.values())
@@ -639,13 +640,13 @@ class VirtualTimeScheduler(Scheduler):
         """
         return None
 
-    def _select_indexed(self, thread_id: int, vnow: float) -> Optional[TenantState]:
+    def _select_indexed(self, thread_id: int, vnow: VirtualTime) -> Optional[TenantState]:
         """Indexed counterpart of :meth:`_select`; must make the exact
         same decision.  Only called when :meth:`_index_spec` returned a
         spec and ``indexed=True``."""
         raise NotImplementedError
 
-    def _fallback_indexed(self, thread_id: int, vnow: float) -> Optional[TenantState]:
+    def _fallback_indexed(self, thread_id: int, vnow: VirtualTime) -> Optional[TenantState]:
         """Indexed counterpart of :meth:`_fallback` (default: smallest
         finish tag from the index)."""
         index = self._index
@@ -655,7 +656,7 @@ class VirtualTimeScheduler(Scheduler):
 
     # -- tracing hooks (only called while a tracer is attached) -----------------
 
-    def _trace_eligible_count(self, thread_id: int, vnow: float) -> int:
+    def _trace_eligible_count(self, thread_id: int, vnow: VirtualTime) -> int:
         """Size of this policy's eligibility set at ``vnow`` -- the
         ``E_now`` of Figure 7, recorded in ``select`` trace events.
 
@@ -673,11 +674,11 @@ class VirtualTimeScheduler(Scheduler):
 
     # -- selection primitives shared by the policies -----------------------------------
 
-    def _head_estimate(self, state: TenantState) -> float:
+    def _head_estimate(self, state: TenantState) -> Cost:
         """Estimated cost of the tenant's head request."""
         return max(self._estimator.estimate(state.queue[0]), MIN_COST)
 
-    def _finish_tag(self, state: TenantState) -> float:
+    def _finish_tag(self, state: TenantState) -> VirtualTime:
         """Virtual finish time of the head request:
         ``F_f = S_f + l_head / phi_f`` (Figure 7, line 21)."""
         return state.start_tag + self._head_estimate(state) / state.weight
@@ -723,7 +724,7 @@ class VirtualTimeScheduler(Scheduler):
         return best
 
     @staticmethod
-    def _eligibility_threshold(vnow: float) -> float:
+    def _eligibility_threshold(vnow: VirtualTime) -> VirtualTime:
         """Upper bound on (staggered) start tags counted as eligible at
         virtual time ``vnow``: the slack absorbs float round-off in
         virtual-time arithmetic.  Shared by the linear scans and the
@@ -731,6 +732,6 @@ class VirtualTimeScheduler(Scheduler):
         return vnow + _ELIGIBILITY_EPS * max(1.0, abs(vnow))
 
     @classmethod
-    def _eligible(cls, start_tag: float, vnow: float) -> bool:
+    def _eligible(cls, start_tag: VirtualTime, vnow: VirtualTime) -> bool:
         """Eligibility test with float slack: ``S_f <= v(now)``."""
         return start_tag <= cls._eligibility_threshold(vnow)

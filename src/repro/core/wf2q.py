@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from ..errors import SchedulerError
+from ..units import VirtualTime
 from .scheduler import TenantState
 from .vt_base import VirtualTimeScheduler
 
@@ -31,7 +32,7 @@ class WF2QScheduler(VirtualTimeScheduler):
 
     name = "wf2q"
 
-    def _select(self, thread_id: int, vnow: float) -> Optional[TenantState]:
+    def _select(self, thread_id: int, vnow: VirtualTime) -> Optional[TenantState]:
         eligible = (
             state
             for state in self._backlogged.values()
@@ -46,13 +47,13 @@ class WF2QScheduler(VirtualTimeScheduler):
         # the finish heap backing the work-conserving fallback.
         return {"finish": True, "staggers": (0.0,)}
 
-    def _select_indexed(self, thread_id: int, vnow: float) -> Optional[TenantState]:
+    def _select_indexed(self, thread_id: int, vnow: VirtualTime) -> Optional[TenantState]:
         index = self._index
         if index is None:  # dequeue routes here only in indexed mode
             raise SchedulerError("indexed selection invoked without an index")
         return index.min_eligible_finish(0, self._eligibility_threshold(vnow))
 
-    def _trace_eligible_count(self, thread_id: int, vnow: float) -> int:
+    def _trace_eligible_count(self, thread_id: int, vnow: VirtualTime) -> int:
         # Tracing only: |{ f in A : S_f <= v(now) }|, the all-or-nothing
         # eligibility set whose emptiness marks fallback dispatches.
         return sum(

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
+from ..units import SimTime, VirtualTime
 from .request import Request
 from .scheduler import TenantState
 from .wf2q import WF2QScheduler
@@ -27,14 +28,14 @@ class WF2QPlusScheduler(WF2QScheduler):
 
     name = "wf2q+"
 
-    def _min_backlogged_start(self) -> Optional[float]:
+    def _min_backlogged_start(self) -> Optional[VirtualTime]:
         if self._index is not None:
             return self._index.min_start_tag()
         if self._backlogged:
             return min(state.start_tag for state in self._backlogged.values())
         return None
 
-    def _adjust_virtual_time(self, vnow: float) -> float:
+    def _adjust_virtual_time(self, vnow: VirtualTime) -> VirtualTime:
         min_start = self._min_backlogged_start()
         if min_start is not None and min_start > vnow:
             self._clock.jump_to(min_start)
@@ -42,7 +43,7 @@ class WF2QPlusScheduler(WF2QScheduler):
         return vnow
 
     def _cancel_running(
-        self, state: TenantState, request: Request, now: float
+        self, state: TenantState, request: Request, now: SimTime
     ) -> bool:
         if not super()._cancel_running(state, request, now):
             return False

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from ..errors import SchedulerError
+from ..units import VirtualTime
 from .scheduler import TenantState
 from .vt_base import VirtualTimeScheduler
 
@@ -27,14 +28,14 @@ class WFQScheduler(VirtualTimeScheduler):
 
     name = "wfq"
 
-    def _select(self, thread_id: int, vnow: float) -> Optional[TenantState]:
+    def _select(self, thread_id: int, vnow: VirtualTime) -> Optional[TenantState]:
         # No eligibility criterion: every backlogged tenant is a candidate.
         return self._min_finish(self._backlogged.values())
 
     def _index_spec(self) -> Optional[Dict[str, Any]]:
         return {"finish": True}
 
-    def _select_indexed(self, thread_id: int, vnow: float) -> Optional[TenantState]:
+    def _select_indexed(self, thread_id: int, vnow: VirtualTime) -> Optional[TenantState]:
         index = self._index
         if index is None:  # dequeue routes here only in indexed mode
             raise SchedulerError("indexed selection invoked without an index")

@@ -17,6 +17,7 @@ from typing import Dict, Tuple
 
 from ..core.request import Request
 from ..errors import ConfigurationError
+from ..units import Cost
 
 __all__ = ["CostEstimator", "KeyedEstimator"]
 
@@ -42,11 +43,11 @@ class CostEstimator(ABC):
         )
 
     @abstractmethod
-    def estimate(self, request: Request) -> float:
+    def estimate(self, request: Request) -> Cost:
         """Return the predicted cost of ``request`` (must be positive)."""
 
     @abstractmethod
-    def observe(self, request: Request, actual_cost: float) -> None:
+    def observe(self, request: Request, actual_cost: Cost) -> None:
         """Incorporate the measured total cost of a completed request."""
 
     def reset(self) -> None:
@@ -73,22 +74,22 @@ class KeyedEstimator(CostEstimator):
         moving-average baselines the paper compares against.
     """
 
-    def __init__(self, initial_estimate: float = 1.0) -> None:
+    def __init__(self, initial_estimate: Cost = 1.0) -> None:
         if initial_estimate <= 0:
             raise ConfigurationError(
                 f"initial_estimate must be positive, got {initial_estimate}"
             )
-        self._initial = float(initial_estimate)
-        self._state: Dict[Tuple[str, str], float] = {}
+        self._initial: Cost = float(initial_estimate)
+        self._state: Dict[Tuple[str, str], Cost] = {}
 
     @property
-    def initial_estimate(self) -> float:
+    def initial_estimate(self) -> Cost:
         return self._initial
 
-    def estimate(self, request: Request) -> float:
+    def estimate(self, request: Request) -> Cost:
         return self._state.get(request.key, self._initial)
 
-    def observe(self, request: Request, actual_cost: float) -> None:
+    def observe(self, request: Request, actual_cost: Cost) -> None:
         if actual_cost < 0:
             raise ConfigurationError(f"actual_cost must be >= 0, got {actual_cost}")
         key = request.key
@@ -109,7 +110,7 @@ class KeyedEstimator(CostEstimator):
                 actual=actual_cost,
             )
 
-    def peek(self, tenant_id: str, api: str = "default") -> float:
+    def peek(self, tenant_id: str, api: str = "default") -> Cost:
         """Current estimate for a key without a request object (testing)."""
         return self._state.get((tenant_id, api), self._initial)
 
@@ -118,10 +119,10 @@ class KeyedEstimator(CostEstimator):
 
     # -- hooks ---------------------------------------------------------------
 
-    def _initial_state(self, first_cost: float) -> float:
+    def _initial_state(self, first_cost: Cost) -> Cost:
         """State after the first observation (default: the observation)."""
         return first_cost
 
     @abstractmethod
-    def _update(self, old: float, cost: float) -> float:
+    def _update(self, old: Cost, cost: Cost) -> Cost:
         """Return the new state given the old state and an observed cost."""

@@ -11,6 +11,7 @@ paper's unpredictable tenants defeat it.
 from __future__ import annotations
 
 from ..errors import ConfigurationError
+from ..units import Cost, Scalar
 from .base import KeyedEstimator
 
 __all__ = ["EMAEstimator"]
@@ -21,7 +22,7 @@ class EMAEstimator(KeyedEstimator):
 
     name = "ema"
 
-    def __init__(self, alpha: float = 0.99, initial_estimate: float = 1.0) -> None:
+    def __init__(self, alpha: Scalar = 0.99, initial_estimate: Cost = 1.0) -> None:
         if not 0.0 <= alpha < 1.0:
             raise ConfigurationError(f"alpha must be in [0, 1), got {alpha}")
         super().__init__(initial_estimate=initial_estimate)
@@ -31,7 +32,7 @@ class EMAEstimator(KeyedEstimator):
     def alpha(self) -> float:
         return self._alpha
 
-    def _update(self, old: float, cost: float) -> float:
+    def _update(self, old: Cost, cost: Cost) -> Cost:
         return self._alpha * old + (1.0 - self._alpha) * cost
 
     def __repr__(self) -> str:

@@ -9,6 +9,7 @@ place.  Included as a baseline and to exercise that property test.
 
 from __future__ import annotations
 
+from ..units import Cost
 from .base import KeyedEstimator
 
 __all__ = ["LastValueEstimator"]
@@ -19,5 +20,5 @@ class LastValueEstimator(KeyedEstimator):
 
     name = "last-value"
 
-    def _update(self, old: float, cost: float) -> float:
+    def _update(self, old: Cost, cost: Cost) -> Cost:
         return cost

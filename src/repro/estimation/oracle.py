@@ -8,6 +8,7 @@ packet schedulers do with packet lengths.
 from __future__ import annotations
 
 from ..core.request import Request
+from ..units import Cost
 from .base import CostEstimator
 
 __all__ = ["OracleEstimator"]
@@ -18,9 +19,9 @@ class OracleEstimator(CostEstimator):
 
     name = "oracle"
 
-    def estimate(self, request: Request) -> float:
+    def estimate(self, request: Request) -> Cost:
         return request.cost
 
-    def observe(self, request: Request, actual_cost: float) -> None:
+    def observe(self, request: Request, actual_cost: Cost) -> None:
         # Nothing to learn -- the oracle already knew.
         return None

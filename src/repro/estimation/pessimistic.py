@@ -17,6 +17,7 @@ expensive request before being reclassified.
 from __future__ import annotations
 
 from ..errors import ConfigurationError
+from ..units import Cost, Scalar
 from .base import KeyedEstimator
 
 __all__ = ["PessimisticEstimator"]
@@ -27,7 +28,7 @@ class PessimisticEstimator(KeyedEstimator):
 
     name = "pessimistic"
 
-    def __init__(self, alpha: float = 0.99, initial_estimate: float = 1.0) -> None:
+    def __init__(self, alpha: Scalar = 0.99, initial_estimate: Cost = 1.0) -> None:
         if not 0.0 < alpha <= 1.0:
             raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
         super().__init__(initial_estimate=initial_estimate)
@@ -37,7 +38,7 @@ class PessimisticEstimator(KeyedEstimator):
     def alpha(self) -> float:
         return self._alpha
 
-    def _update(self, old: float, cost: float) -> float:
+    def _update(self, old: Cost, cost: Cost) -> Cost:
         # Figure 7, line 30: L_max <- max(alpha * L_max, T).
         return max(self._alpha * old, cost)
 

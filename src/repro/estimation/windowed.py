@@ -14,6 +14,7 @@ from typing import Deque, Dict, Tuple
 
 from ..core.request import Request
 from ..errors import ConfigurationError
+from ..units import Cost
 from .base import CostEstimator
 
 __all__ = ["WindowedMeanEstimator"]
@@ -24,7 +25,7 @@ class WindowedMeanEstimator(CostEstimator):
 
     name = "windowed-mean"
 
-    def __init__(self, window: int = 16, initial_estimate: float = 1.0) -> None:
+    def __init__(self, window: int = 16, initial_estimate: Cost = 1.0) -> None:
         if window < 1:
             raise ConfigurationError(f"window must be >= 1, got {window}")
         if initial_estimate <= 0:
@@ -32,21 +33,21 @@ class WindowedMeanEstimator(CostEstimator):
                 f"initial_estimate must be positive, got {initial_estimate}"
             )
         self._window = int(window)
-        self._initial = float(initial_estimate)
-        self._samples: Dict[Tuple[str, str], Deque[float]] = {}
-        self._sums: Dict[Tuple[str, str], float] = {}
+        self._initial: Cost = float(initial_estimate)
+        self._samples: Dict[Tuple[str, str], Deque[Cost]] = {}
+        self._sums: Dict[Tuple[str, str], Cost] = {}
 
     @property
     def window(self) -> int:
         return self._window
 
-    def estimate(self, request: Request) -> float:
+    def estimate(self, request: Request) -> Cost:
         samples = self._samples.get(request.key)
         if not samples:
             return self._initial
         return self._sums[request.key] / len(samples)
 
-    def observe(self, request: Request, actual_cost: float) -> None:
+    def observe(self, request: Request, actual_cost: Cost) -> None:
         if actual_cost < 0:
             raise ConfigurationError(f"actual_cost must be >= 0, got {actual_cost}")
         key = request.key

@@ -46,7 +46,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import partial
-from typing import Callable, Dict, List, Optional, Sequence, Set, Union
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Union
 
 from ..core.request import Request, RequestPhase
 from ..errors import ConfigurationError
@@ -252,7 +252,7 @@ class Fleet:
         )
 
     @property
-    def down(self) -> frozenset:
+    def down(self) -> FrozenSet[int]:
         """Server indices currently marked down by the health monitor."""
         return frozenset(self._down)
 

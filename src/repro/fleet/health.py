@@ -52,16 +52,23 @@ class HealthMonitor:
         self._misses: List[int] = [0] * len(fleet.servers)
         self._ticks = 0
         self._started = False
+        self._epoch = 0.0
 
     def start(self) -> None:
         """Arm the first probe (idempotent)."""
         if self._started:
             return
         self._started = True
+        # Probes sit on the grid epoch + k * interval: anchoring at the
+        # start() instant keeps a monitor started mid-run from asking
+        # the simulator to schedule its first probe in the past.
+        self._epoch = self.fleet.sim.now
         self._schedule()
 
     def _schedule(self) -> None:
-        self.fleet.sim.at((self._ticks + 1) * self.interval, self._tick)
+        self.fleet.sim.at(
+            self._epoch + (self._ticks + 1) * self.interval, self._tick
+        )
 
     def _tick(self) -> None:
         self._ticks += 1

@@ -22,7 +22,7 @@ with both the single-server injector and the failover policy.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from ..core.request import Request, RequestPhase
 from ..errors import ConfigurationError
@@ -174,7 +174,7 @@ class FleetInjector:
     # -- tracing -----------------------------------------------------------
 
     def _trace_fault(
-        self, fault: str, tenant: Optional[str] = None, **fields
+        self, fault: str, tenant: Optional[str] = None, **fields: Any
     ) -> None:
         trace = self.fleet._trace
         if trace is not None:

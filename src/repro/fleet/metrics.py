@@ -23,7 +23,7 @@ failover re-routes never double-count.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.request import Request
 from ..metrics.latency import LatencyStats, latency_stats
@@ -44,7 +44,7 @@ class FleetRunMetrics:
     sample_interval: float
     capacity: float
     #: (time, healthy_capacity) step points, starting at (0, capacity).
-    capacity_timeline: List[tuple] = field(default_factory=list)
+    capacity_timeline: List[Tuple[float, float]] = field(default_factory=list)
 
     def tenants(self) -> List[str]:
         return self.tracker.tenants()
@@ -106,15 +106,21 @@ class FleetCollector:
             GPSReference(fleet.capacity) if track_gps else None
         )
         self._latencies: Dict[str, List[float]] = {}
-        self._seen_tenants: set = set()
+        self._seen_tenants: Set[str] = set()
         self._previous_service: Dict[str, float] = {}
         self._sample_index = 0
         self._observed_samples = 0
-        self._capacity_timeline: List[tuple] = [(0.0, fleet.capacity)]
+        # Anchor the sampling grid at attach time: `at()` takes an
+        # absolute timestamp, so scheduling the bare interval broke for
+        # any collector attached after the clock passed t=interval.
+        self._epoch = self._sim.now
+        self._capacity_timeline: List[Tuple[float, float]] = [
+            (self._epoch, fleet.capacity)
+        ]
         fleet.on_admit(self._on_admit)
         fleet.on_complete(self._on_complete)
         fleet.on_capacity_change(self._on_capacity_change)
-        self._sim.at(self._interval, self._sample)
+        self._sim.at(self._epoch + self._interval, self._sample)
 
     # -- listeners ---------------------------------------------------------
 
@@ -158,7 +164,10 @@ class FleetCollector:
             self._observed_samples += 1
         self._previous_service = actual
         self._sample_index += 1
-        self._sim.at((self._sample_index + 1) * self._interval, self._sample)
+        self._sim.at(
+            self._epoch + (self._sample_index + 1) * self._interval,
+            self._sample,
+        )
 
     # -- results -----------------------------------------------------------
 

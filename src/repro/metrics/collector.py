@@ -39,6 +39,7 @@ import numpy as np
 
 from ..core.request import Request
 from ..errors import ConfigurationError
+from ..units import Cost, Duration, Rate, Scalar, SimTime
 from ..simulator.gps import GPSReference
 from ..simulator.server import ThreadPoolServer
 from .gini import gini_index
@@ -64,9 +65,9 @@ class DispatchRecord:
     thread_id: int
     tenant_id: str
     api: str
-    cost: float
-    start: float
-    end: float
+    cost: Cost
+    start: SimTime
+    end: SimTime
 
 
 class MetricsCollector:
@@ -102,10 +103,10 @@ class MetricsCollector:
     def __init__(
         self,
         server: ThreadPoolServer,
-        sample_interval: float = 0.1,
+        sample_interval: Duration = 0.1,
         record_dispatches: bool = True,
         track_gps: bool = True,
-        warmup: float = 0.0,
+        warmup: Duration = 0.0,
         mode: str = "exact",
         seed: int = 0,
         compression: int = 200,
@@ -121,20 +122,20 @@ class MetricsCollector:
             )
         self._server = server
         self._sim = server.sim
-        self._interval = float(sample_interval)
-        self._warmup = float(warmup)
+        self._interval: Duration = float(sample_interval)
+        self._warmup: Duration = float(warmup)
         self._mode = mode
         self._tracker = ServiceTracker()
         self._gps: Optional[GPSReference] = (
             GPSReference(server.num_threads * server.rate) if track_gps else None
         )
-        self._latencies: Dict[str, List[float]] = {}
+        self._latencies: Dict[str, List[Duration]] = {}
         self._dispatch_log: List[DispatchRecord] = []
         self._record_dispatches = bool(record_dispatches)
-        self._gini_times: List[float] = []
-        self._gini_values: List[float] = []
+        self._gini_times: List[SimTime] = []
+        self._gini_values: List[Scalar] = []
         self._seen_tenants: set[str] = set()
-        self._previous_service: Dict[str, float] = {}
+        self._previous_service: Dict[str, Cost] = {}
         self._sample_index = 0
         self._observed_samples = 0
         self._trace = None
@@ -152,10 +153,15 @@ class MetricsCollector:
         server.on_submit(self._on_submit)
         server.on_dispatch(self._on_dispatch)
         server.on_complete(self._on_complete)
-        # Samples sit on the absolute grid k * interval (multiplication,
-        # not accumulation) so no float drift pushes the final sample
-        # past the experiment's `until` horizon.
-        self._sim.at(self._interval, self._sample)
+        # Samples sit on the absolute grid epoch + k * interval
+        # (multiplication, not accumulation) so no float drift pushes
+        # the final sample past the experiment's `until` horizon.  The
+        # epoch anchors the grid at attach time: `at(self._interval)`
+        # read a duration as an absolute timestamp, so attaching a
+        # collector to a simulation already past t=interval scheduled
+        # its first sample in the past and raised SimulationError.
+        self._epoch: SimTime = self._sim.now
+        self._sim.at(self._epoch + self._interval, self._sample)
 
     @property
     def mode(self) -> str:
@@ -219,8 +225,8 @@ class MetricsCollector:
 
     def _sample(self) -> None:
         now = self._sim.now
-        actual: Dict[str, float] = {}
-        gps: Dict[str, float] = {}
+        actual: Dict[str, Cost] = {}
+        gps: Dict[str, Cost] = {}
         if self._gps is not None:
             self._gps.advance(now)
         for tenant in self._seen_tenants:
@@ -259,9 +265,12 @@ class MetricsCollector:
                     )
         self._previous_service = actual
         self._sample_index += 1
-        self._sim.at((self._sample_index + 1) * self._interval, self._sample)
+        self._sim.at(
+            self._epoch + (self._sample_index + 1) * self._interval,
+            self._sample,
+        )
 
-    def _interval_gini(self, actual: Dict[str, float]) -> Optional[float]:
+    def _interval_gini(self, actual: Dict[str, Cost]) -> Optional[Scalar]:
         """Gini index of weight-normalized interval service across the
         currently active tenants; None when no tenant is active."""
         scheduler = self._server.scheduler
@@ -326,7 +335,7 @@ class _DispatchLogMetrics:
         )
 
     def occupancy_matrix(
-        self, t_start: float, t_end: float, resolution: float, num_threads: int
+        self, t_start: SimTime, t_end: SimTime, resolution: Duration, num_threads: int
     ) -> np.ndarray:
         """Request-cost-per-thread-per-time grid for the Figure 8b/9b/11b
         occupancy plots: entry ``[i, k]`` is the cost of the request
@@ -387,11 +396,11 @@ class RunMetrics(_DispatchLogMetrics):
     def __init__(
         self,
         tracker: ServiceTracker,
-        latencies: Dict[str, List[float]],
+        latencies: Dict[str, List[Duration]],
         dispatch_log: List[DispatchRecord],
         gini_times: np.ndarray,
         gini_values: np.ndarray,
-        sample_interval: float,
+        sample_interval: Duration,
     ) -> None:
         self._tracker = tracker
         self.latencies = latencies
@@ -409,7 +418,7 @@ class RunMetrics(_DispatchLogMetrics):
         return self._tracker.series(tenant_id)
 
     def lag_sigma(
-        self, tenant_id: str, reference_rate: Optional[float] = None
+        self, tenant_id: str, reference_rate: Optional[Rate] = None
     ) -> float:
         """sigma of service lag for one tenant (seconds if rate given)."""
         return self.service_series(tenant_id).lag_sigma(reference_rate)
@@ -417,7 +426,7 @@ class RunMetrics(_DispatchLogMetrics):
     def lag_sigmas(
         self,
         tenants: Optional[Sequence[str]] = None,
-        reference_rate: Optional[float] = None,
+        reference_rate: Optional[Rate] = None,
     ) -> Dict[str, float]:
         """sigma(lag) per tenant -- the CDF input of Figures 10/12."""
         names = list(tenants) if tenants is not None else self.tenants()
@@ -428,7 +437,7 @@ class RunMetrics(_DispatchLogMetrics):
     def latency_stats(self, tenant_id: str) -> LatencyStats:
         return latency_stats(self.latencies.get(tenant_id, []))
 
-    def latency_p99(self, tenant_id: str) -> float:
+    def latency_p99(self, tenant_id: str) -> Duration:
         return self.latency_stats(tenant_id).p99
 
 
@@ -477,7 +486,7 @@ class StreamingRunMetrics(_DispatchLogMetrics):
         )
 
     def lag_sigma(
-        self, tenant_id: str, reference_rate: Optional[float] = None
+        self, tenant_id: str, reference_rate: Optional[Rate] = None
     ) -> float:
         """sigma of service lag from the full-resolution Welford
         moments (exact up to float round-off)."""
@@ -492,7 +501,7 @@ class StreamingRunMetrics(_DispatchLogMetrics):
     def lag_sigmas(
         self,
         tenants: Optional[Sequence[str]] = None,
-        reference_rate: Optional[float] = None,
+        reference_rate: Optional[Rate] = None,
     ) -> Dict[str, float]:
         names = list(tenants) if tenants is not None else self.tenants()
         return {t: self.lag_sigma(t, reference_rate) for t in names}
@@ -513,7 +522,7 @@ class StreamingRunMetrics(_DispatchLogMetrics):
             maximum=float(moments.maximum),
         )
 
-    def latency_p99(self, tenant_id: str) -> float:
+    def latency_p99(self, tenant_id: str) -> Duration:
         return self.latency_stats(tenant_id).p99
 
     # -- streaming extras ------------------------------------------------------

@@ -15,10 +15,12 @@ from typing import Sequence
 
 import numpy as np
 
+from ..units import Scalar
+
 __all__ = ["gini_index"]
 
 
-def gini_index(values: Sequence[float]) -> float:
+def gini_index(values: Sequence[float]) -> Scalar:
     """Gini coefficient of non-negative values.
 
     Uses the standard mean-absolute-difference formulation via the

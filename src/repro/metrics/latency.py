@@ -13,6 +13,8 @@ from typing import Dict, Sequence
 
 import numpy as np
 
+from ..units import Duration, Scalar
+
 __all__ = ["LatencyStats", "latency_stats", "speedup", "percentile_table"]
 
 
@@ -21,11 +23,11 @@ class LatencyStats:
     """Summary of a latency sample set (seconds)."""
 
     count: int
-    mean: float
-    p1: float
-    p50: float
-    p99: float
-    maximum: float
+    mean: Duration
+    p1: Duration
+    p50: Duration
+    p99: Duration
+    maximum: Duration
 
     @property
     def empty(self) -> bool:
@@ -36,7 +38,7 @@ _EMPTY = LatencyStats(count=0, mean=float("nan"), p1=float("nan"),
                       p50=float("nan"), p99=float("nan"), maximum=float("nan"))
 
 
-def latency_stats(samples: Sequence[float]) -> LatencyStats:
+def latency_stats(samples: Sequence[Duration]) -> LatencyStats:
     """Compute the paper's latency summary for one tenant."""
     if len(samples) == 0:
         return _EMPTY
@@ -52,7 +54,7 @@ def latency_stats(samples: Sequence[float]) -> LatencyStats:
     )
 
 
-def speedup(baseline: float, improved: float) -> float:
+def speedup(baseline: Duration, improved: Duration) -> Scalar:
     """The paper's speedup convention (§6.2.2): how much faster the
     improved scheduler's latency is relative to the baseline's.
 
@@ -71,10 +73,10 @@ def speedup(baseline: float, improved: float) -> float:
 
 
 def percentile_table(
-    latencies: Dict[str, Sequence[float]], percentile: float = 99.0
-) -> Dict[str, float]:
+    latencies: Dict[str, Sequence[Duration]], percentile: Scalar = 99.0
+) -> Dict[str, Duration]:
     """Per-tenant latency percentile, NaN for tenants with no samples."""
-    out: Dict[str, float] = {}
+    out: Dict[str, Duration] = {}
     for tenant, samples in latencies.items():
         if len(samples) == 0:
             out[tenant] = float("nan")

@@ -22,6 +22,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..units import Cost, Rate, SimTime
+
 __all__ = ["ServiceSeries", "ServiceTracker"]
 
 
@@ -41,7 +43,7 @@ class ServiceSeries:
     #: at t=0; without it, ``service_rate``'s first post-warmup entry
     #: would read as the entire pre-warmup cumulative service -- a
     #: spurious spike in the Figure 8a/9a/11a series.
-    baseline: float = 0.0
+    baseline: Cost = 0.0
 
     def service_rate(self) -> np.ndarray:
         """Work done per sampling interval (cost units per interval),
@@ -52,7 +54,7 @@ class ServiceSeries:
         """Service lag in cost units; positive = ahead of GPS."""
         return self.actual - self.gps
 
-    def lag_seconds(self, reference_rate: float) -> np.ndarray:
+    def lag_seconds(self, reference_rate: Rate) -> np.ndarray:
         """Service lag in seconds of fair-share service.
 
         ``reference_rate`` is the tenant's nominal GPS rate in cost
@@ -63,7 +65,7 @@ class ServiceSeries:
             raise ValueError(f"reference_rate must be positive, got {reference_rate}")
         return self.lag_units() / reference_rate
 
-    def lag_sigma(self, reference_rate: Optional[float] = None) -> float:
+    def lag_sigma(self, reference_rate: Optional[Rate] = None) -> float:
         """Standard deviation of service lag -- the burstiness metric.
 
         In seconds when ``reference_rate`` is given, else in cost units.
@@ -81,12 +83,12 @@ class ServiceTracker:
     them into :class:`ServiceSeries` objects."""
 
     def __init__(self) -> None:
-        self._times: List[float] = []
-        self._actual: Dict[str, List[float]] = {}
-        self._gps: Dict[str, List[float]] = {}
-        self._baselines: Dict[str, float] = {}
+        self._times: List[SimTime] = []
+        self._actual: Dict[str, List[Cost]] = {}
+        self._gps: Dict[str, List[Cost]] = {}
+        self._baselines: Dict[str, Cost] = {}
 
-    def set_baselines(self, actual: Dict[str, float]) -> None:
+    def set_baselines(self, actual: Dict[str, Cost]) -> None:
         """Record the cumulative service delivered *before* the first
         observed sample (warmup runs): the collector passes the last
         pre-warmup sample here so ``service_rate`` differences the first
@@ -94,7 +96,7 @@ class ServiceTracker:
         self._baselines = dict(actual)
 
     def observe(
-        self, time: float, actual: Dict[str, float], gps: Dict[str, float]
+        self, time: SimTime, actual: Dict[str, Cost], gps: Dict[str, Cost]
     ) -> None:
         """Record one sample.  Tenants appearing mid-run are backfilled
         with zero service for earlier samples."""
@@ -119,7 +121,7 @@ class ServiceTracker:
         times = np.asarray(self._times)
         n = times.size
 
-        def column(data: Dict[str, List[float]]) -> np.ndarray:
+        def column(data: Dict[str, List[Cost]]) -> np.ndarray:
             values = data.get(tenant_id, [])
             if len(values) < n:
                 pad_value = values[-1] if values else 0.0

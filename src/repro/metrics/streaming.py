@@ -44,6 +44,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..simulator.rng import make_rng
+from ..units import Cost, Duration, Scalar, SimTime
 
 __all__ = [
     "StreamingMoments",
@@ -589,12 +590,12 @@ class BoundedServiceSeries:
         self.capacity = int(capacity)
         self.stride = 1
         self._counter = 0
-        self.times: List[float] = []
-        self.actual: Dict[str, List[float]] = {}
-        self.gps: Dict[str, List[float]] = {}
+        self.times: List[SimTime] = []
+        self.actual: Dict[str, List[Cost]] = {}
+        self.gps: Dict[str, List[Cost]] = {}
 
     def observe(
-        self, time: float, actual: Dict[str, float], gps: Dict[str, float]
+        self, time: SimTime, actual: Dict[str, Cost], gps: Dict[str, Cost]
     ) -> None:
         self._counter += 1
         if (self._counter - 1) % self.stride != 0:
@@ -631,7 +632,7 @@ class BoundedServiceSeries:
         exact tracker (trailing gaps carry the last value)."""
         n = len(self.times)
 
-        def column(store: Dict[str, List[float]]) -> np.ndarray:
+        def column(store: Dict[str, List[Cost]]) -> np.ndarray:
             values = store.get(tenant_id, [])
             if len(values) < n:
                 pad = values[-1] if values else 0.0
@@ -640,10 +641,10 @@ class BoundedServiceSeries:
 
         return np.asarray(self.times), column(self.actual), column(self.gps)
 
-    def shift_times(self, offset: float) -> None:
+    def shift_times(self, offset: Duration) -> None:
         self.times = [t + offset for t in self.times]
 
-    def final_values(self) -> Tuple[Dict[str, float], Dict[str, float]]:
+    def final_values(self) -> Tuple[Dict[str, Cost], Dict[str, Cost]]:
         """Last recorded cumulative (actual, gps) per tenant."""
         actual = {t: (c[-1] if c else 0.0) for t, c in self.actual.items()}
         gps = {t: (c[-1] if c else 0.0) for t, c in self.gps.items()}
@@ -695,14 +696,14 @@ class MetricsPartial:
 
     def __init__(
         self,
-        sample_interval: float,
+        sample_interval: Duration,
         seed: int = 0,
         compression: int = 200,
         series_capacity: int = 1024,
         reservoir_capacity: int = 4096,
         dispatch_capacity: int = 65536,
     ) -> None:
-        self.sample_interval = float(sample_interval)
+        self.sample_interval: Duration = float(sample_interval)
         self.seed = int(seed)
         self.compression = int(compression)
         self.latency_digests: Dict[str, QuantileDigest] = {}
@@ -712,12 +713,12 @@ class MetricsPartial:
         self.gini = ReservoirSample(reservoir_capacity, seed, "gini")
         self.gini_moments = StreamingMoments()
         self.dispatches = RingBuffer(dispatch_capacity)
-        self.baselines: Dict[str, float] = {}
+        self.baselines: Dict[str, Cost] = {}
         self.lag_samples = 0
 
     # -- ingestion (collector-facing) ---------------------------------------
 
-    def observe_latency(self, tenant_id: str, latency: float) -> None:
+    def observe_latency(self, tenant_id: str, latency: Duration) -> None:
         digest = self.latency_digests.get(tenant_id)
         if digest is None:
             digest = self.latency_digests[tenant_id] = QuantileDigest(
@@ -728,7 +729,7 @@ class MetricsPartial:
         self.latency_moments[tenant_id].add(latency)
 
     def observe_sample(
-        self, now: float, actual: Dict[str, float], gps: Dict[str, float]
+        self, now: SimTime, actual: Dict[str, Cost], gps: Dict[str, Cost]
     ) -> None:
         for tenant, value in actual.items():
             moments = self.lag_moments.get(tenant)
@@ -741,7 +742,7 @@ class MetricsPartial:
         self.lag_samples += 1
         self.series.observe(now, actual, gps)
 
-    def observe_gini(self, now: float, value: float) -> None:
+    def observe_gini(self, now: SimTime, value: Scalar) -> None:
         self.gini.add(now, value)
         self.gini_moments.add(value)
 
@@ -750,7 +751,7 @@ class MetricsPartial:
 
     # -- windowed composition ------------------------------------------------
 
-    def shift_times(self, offset: float) -> None:
+    def shift_times(self, offset: Duration) -> None:
         """Move every recorded timestamp by ``offset`` (shard -> global
         clock): sample times, Gini sample times, and dispatch-record
         start/end times."""

@@ -12,6 +12,8 @@ from typing import Dict, Sequence
 
 import numpy as np
 
+from ..units import Cost, Scalar
+
 __all__ = ["CostSummary", "cost_summary", "coefficient_of_variation", "cdf_points"]
 
 
@@ -21,13 +23,13 @@ class CostSummary:
     (1st and 99th percentiles, Figure 2)."""
 
     count: int
-    mean: float
-    p1: float
-    p50: float
-    p99: float
-    cov: float  # coefficient of variation = stdev / mean
+    mean: Cost
+    p1: Cost
+    p50: Cost
+    p99: Cost
+    cov: Scalar  # coefficient of variation = stdev / mean
 
-    def decades_of_spread(self) -> float:
+    def decades_of_spread(self) -> Scalar:
         """log10(p99 / p1): the orders-of-magnitude spread the paper
         quotes ("request costs span four orders of magnitude")."""
         if self.p1 <= 0:
@@ -35,7 +37,7 @@ class CostSummary:
         return float(np.log10(self.p99 / self.p1))
 
 
-def cost_summary(samples: Sequence[float]) -> CostSummary:
+def cost_summary(samples: Sequence[Cost]) -> CostSummary:
     """Summarize a cost sample set."""
     array = np.asarray(samples, dtype=float)
     if array.size == 0:
@@ -50,7 +52,7 @@ def cost_summary(samples: Sequence[float]) -> CostSummary:
     )
 
 
-def coefficient_of_variation(samples: Sequence[float]) -> float:
+def coefficient_of_variation(samples: Sequence[Cost]) -> Scalar:
     """CoV = stdev / mean, the y-axis of the Figure 3 scatter."""
     array = np.asarray(samples, dtype=float)
     if array.size == 0:

@@ -329,7 +329,7 @@ def build_manifest(
     return manifest
 
 
-def write_manifest(path: Union[str, Path], **kwargs) -> Path:
+def write_manifest(path: Union[str, Path], **kwargs: Any) -> Path:
     """Build and write ``manifest.json`` (kwargs as for
     :func:`build_manifest`)."""
     path = Path(path)

@@ -104,7 +104,7 @@ class Timer:
     def __enter__(self) -> "Timer":
         return self.start()
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.stop()
 
     def __repr__(self) -> str:

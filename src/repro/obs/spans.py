@@ -27,7 +27,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
 from .events import CANCEL, COMPLETE, DISPATCH, ENQUEUE
 
@@ -190,7 +190,7 @@ class SpanSet:
     def __len__(self) -> int:
         return len(self.spans)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[RequestSpan]:
         return iter(self.spans)
 
     def completed(self) -> List[RequestSpan]:
@@ -203,7 +203,7 @@ class SpanSet:
         form of the paper's "small requests wait behind expensive ones"
         claim, ranked worst first."""
         blocked_seconds: Dict[str, float] = {}
-        victims: Dict[str, set] = {}
+        victims: Dict[str, Set[int]] = {}
         for span in self.spans:
             for interval in span.blocking:
                 blocker = interval.blocker_tenant

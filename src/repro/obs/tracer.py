@@ -29,7 +29,7 @@ silently ignored).
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Optional
+from typing import Any, Callable, Iterator, List, Optional
 
 from .events import (
     AUDIT,
@@ -257,7 +257,7 @@ class Tracer:
         tenant: Optional[str],
         *,
         reason: str,
-        **fields,
+        **fields: Any,
     ) -> None:
         data = {"reason": reason}
         data.update(fields)
@@ -296,7 +296,7 @@ class Tracer:
         fault: str,
         *,
         tenant: Optional[str] = None,
-        **fields,
+        **fields: Any,
     ) -> None:
         self.registry.counter(f"faults.{fault}").inc()
         data = {"fault": fault}
@@ -310,7 +310,7 @@ class Tracer:
         *,
         vt: Optional[float] = None,
         tenant: Optional[str] = None,
-        **fields,
+        **fields: Any,
     ) -> None:
         self.registry.counter("validate.violations").inc()
         data = {"code": code}
@@ -378,7 +378,7 @@ class Tracer:
         *,
         vt: Optional[float] = None,
         tenant: Optional[str] = None,
-        **fields,
+        **fields: Any,
     ) -> None:
         self.registry.counter(f"audit.{monitor}").inc()
         data = {"monitor": monitor}

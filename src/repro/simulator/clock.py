@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from ..errors import SimulationError
+from ..units import Duration, SimTime
 from .events import CalendarEventQueue, EventHandle, EventQueue
 
 __all__ = ["Simulation"]
@@ -44,7 +45,7 @@ class Simulation:
                 f"got {event_queue!r}"
             )
         self._queue = queue_cls()
-        self._now = 0.0
+        self._now: SimTime = 0.0
         self._running = False
         self._stopped = False
         self._events_processed = 0
@@ -52,7 +53,7 @@ class Simulation:
     # -- observation ----------------------------------------------------------
 
     @property
-    def now(self) -> float:
+    def now(self) -> SimTime:
         """Current simulated wallclock time in seconds."""
         return self._now
 
@@ -77,7 +78,7 @@ class Simulation:
 
     # -- scheduling -------------------------------------------------------------
 
-    def at(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+    def at(self, time: SimTime, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at absolute simulated time ``time``."""
         if time < self._now - 1e-12:
             raise SimulationError(
@@ -85,7 +86,7 @@ class Simulation:
             )
         return self._queue.push(max(time, self._now), fn, *args)
 
-    def after(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+    def after(self, delay: Duration, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` after ``delay`` seconds."""
         if delay < 0:
             raise SimulationError(f"delay must be >= 0, got {delay}")
@@ -101,8 +102,8 @@ class Simulation:
     # -- execution -----------------------------------------------------------------
 
     def run(
-        self, until: Optional[float] = None, max_events: Optional[int] = None
-    ) -> float:
+        self, until: Optional[SimTime] = None, max_events: Optional[int] = None
+    ) -> SimTime:
         """Process events until the queue drains, ``until`` is reached, or
         ``max_events`` have fired.  Returns the final simulated time.
 

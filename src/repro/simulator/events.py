@@ -45,6 +45,7 @@ import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
 from ..errors import SimulationError
+from ..units import SimTime
 
 __all__ = [
     "EventHandle",
@@ -64,9 +65,9 @@ class EventHandle:
     __slots__ = ("time", "seq", "fn", "args", "cancelled")
 
     def __init__(
-        self, time: float, seq: int, fn: Callable[..., Any], args: Tuple[Any, ...]
+        self, time: SimTime, seq: int, fn: Callable[..., Any], args: Tuple[Any, ...]
     ) -> None:
-        self.time = time
+        self.time: SimTime = time
         self.seq = seq
         self.fn: Optional[Callable[..., Any]] = fn
         self.args = args
@@ -121,7 +122,7 @@ class EventQueue:
     def purge_threshold(self) -> int:
         return self._purge_threshold
 
-    def push(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+    def push(self, time: SimTime, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at ``time`` and return a handle."""
         handle = EventHandle(time, next(self._seq), fn, args)
         heapq.heappush(self._heap, (time, handle.seq, handle))
@@ -141,7 +142,7 @@ class EventQueue:
             if backlog > self._purge_threshold and backlog > self._live:
                 self._compact()
 
-    def peek_time(self) -> Optional[float]:
+    def peek_time(self) -> Optional[SimTime]:
         """Time of the earliest pending event, or ``None`` when empty."""
         self._drop_cancelled()
         if not self._heap:
@@ -280,7 +281,7 @@ class CalendarEventQueue:
     def purge_threshold(self) -> int:
         return self._purge_threshold
 
-    def push(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+    def push(self, time: SimTime, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at ``time`` and return a handle."""
         handle = EventHandle(time, next(self._seq), fn, args)
         day = int(time / self._width)
@@ -309,7 +310,7 @@ class CalendarEventQueue:
             if self._dead > self._purge_threshold and self._dead > self._live:
                 self._compact()
 
-    def peek_time(self) -> Optional[float]:
+    def peek_time(self) -> Optional[SimTime]:
         """Time of the earliest pending event, or ``None`` when empty."""
         entry = self._position()
         return entry[0] if entry is not None else None

@@ -28,6 +28,7 @@ import itertools
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError, SimulationError
+from ..units import Cost, Rate, SimTime, VirtualTime, Weight
 from .events import DEFAULT_PURGE_THRESHOLD
 
 __all__ = ["GPSReference"]
@@ -36,13 +37,13 @@ __all__ = ["GPSReference"]
 class _Flow:
     __slots__ = ("flow_id", "weight", "arrived", "active", "empty_at", "version")
 
-    def __init__(self, flow_id: str, weight: float) -> None:
+    def __init__(self, flow_id: str, weight: Weight) -> None:
         self.flow_id = flow_id
-        self.weight = weight
-        self.arrived = 0.0
+        self.weight: Weight = weight
+        self.arrived: Cost = 0.0
         self.active = False
         #: Virtual emptying time E_f (valid while active).
-        self.empty_at = 0.0
+        self.empty_at: VirtualTime = 0.0
         #: Heap entry version for lazy invalidation.
         self.version = 0
 
@@ -57,7 +58,7 @@ class GPSReference:
 
     def __init__(
         self,
-        capacity: float,
+        capacity: Rate,
         purge_threshold: int = DEFAULT_PURGE_THRESHOLD,
     ) -> None:
         if capacity <= 0:
@@ -66,10 +67,10 @@ class GPSReference:
             raise ConfigurationError(
                 f"purge_threshold must be >= 1, got {purge_threshold}"
             )
-        self._capacity = float(capacity)
-        self._virtual = 0.0
-        self._wallclock = 0.0
-        self._active_weight = 0.0
+        self._capacity: Rate = float(capacity)
+        self._virtual: VirtualTime = 0.0
+        self._wallclock: SimTime = 0.0
+        self._active_weight: Weight = 0.0
         self._flows: Dict[str, _Flow] = {}
         # Heap entries carry a globally unique sequence number so ties on
         # (empty_at) never fall through to comparing _Flow objects.
@@ -86,19 +87,19 @@ class GPSReference:
     # -- observation -----------------------------------------------------------
 
     @property
-    def capacity(self) -> float:
+    def capacity(self) -> Rate:
         return self._capacity
 
     @property
-    def virtual_time(self) -> float:
+    def virtual_time(self) -> VirtualTime:
         return self._virtual
 
     @property
-    def now(self) -> float:
+    def now(self) -> SimTime:
         return self._wallclock
 
     @property
-    def active_weight(self) -> float:
+    def active_weight(self) -> Weight:
         return self._active_weight
 
     @property
@@ -119,14 +120,14 @@ class GPSReference:
     def purge_threshold(self) -> int:
         return self._purge_threshold
 
-    def backlog(self, flow_id: str) -> float:
+    def backlog(self, flow_id: str) -> Cost:
         """Remaining fluid backlog of a flow at the current time."""
         flow = self._flows.get(flow_id)
         if flow is None or not flow.active:
             return 0.0
         return max(0.0, flow.weight * (flow.empty_at - self._virtual))
 
-    def service(self, flow_id: str) -> float:
+    def service(self, flow_id: str) -> Cost:
         """Cumulative service W_f(0, t) delivered to a flow by GPS."""
         flow = self._flows.get(flow_id)
         if flow is None:
@@ -136,7 +137,7 @@ class GPSReference:
     # -- driving ------------------------------------------------------------------
 
     def arrive(
-        self, flow_id: str, cost: float, now: float, weight: float = 1.0
+        self, flow_id: str, cost: Cost, now: SimTime, weight: Weight = 1.0
     ) -> None:
         """Register the arrival of ``cost`` units of work for a flow.
 
@@ -179,7 +180,7 @@ class GPSReference:
         if self._stale_entries > self._purge_threshold and self._stale_entries > live:
             self._compact()
 
-    def set_capacity(self, capacity: float, now: float) -> None:
+    def set_capacity(self, capacity: Rate, now: SimTime) -> None:
         """Change the fluid server's rate from wallclock ``now`` on.
 
         The fleet-wide GPS reference calls this when the healthy
@@ -196,7 +197,7 @@ class GPSReference:
         self.advance(now)
         self._capacity = float(capacity)
 
-    def advance(self, to_time: float) -> None:
+    def advance(self, to_time: SimTime) -> None:
         """Evolve the fluid system to wallclock ``to_time``."""
         if to_time < self._wallclock - 1e-12:
             raise SimulationError(

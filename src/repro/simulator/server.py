@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Callable, List, Literal, Optional
 from ..core.request import Request
 from ..core.scheduler import Scheduler
 from ..errors import ConfigurationError, SimulationError
+from ..units import Cost, Duration, Rate, Scalar, SimTime
 from .clock import Simulation
 
 if TYPE_CHECKING:  # import cycle: repro.obs instruments the simulator
@@ -55,21 +56,21 @@ class Worker:
     def __init__(self, index: int) -> None:
         self.index = index
         self.request: Optional[Request] = None
-        self.started = 0.0
+        self.started: SimTime = 0.0
         #: Time of the last usage report sent to the scheduler (refresh).
-        self.last_report = 0.0
+        self.last_report: SimTime = 0.0
         self.completion_event = None
         #: Relative processing speed (fault injection): 1.0 = healthy,
         #: 0 < speed < 1 = degraded, 0.0 = stalled.  Multiplying by the
         #: default 1.0 is exact in IEEE754, so a fault-free run's float
         #: arithmetic is bit-identical to the pre-fault formulas.
-        self.speed = 1.0
+        self.speed: Scalar = 1.0
         #: Cost units completed on the current request before the last
         #: speed change (progress must be integrated piecewise once the
         #: speed varies mid-request).
-        self.done_work = 0.0
-        #: Wallclock time ``done_work`` was last folded up.
-        self.work_mark = 0.0
+        self.done_work: Cost = 0.0
+        #: Simulated time ``done_work`` was last folded up.
+        self.work_mark: SimTime = 0.0
         #: Crashed workers hold no request and are skipped by dispatch
         #: until restored.
         self.crashed = False
@@ -107,8 +108,8 @@ class ThreadPoolServer:
         sim: Simulation,
         scheduler: Scheduler,
         num_threads: int,
-        rate: float = 1.0,
-        refresh_interval: Optional[float] = 0.01,
+        rate: Rate = 1.0,
+        refresh_interval: Optional[Duration] = 0.01,
         dispatch_order: Literal["descending", "ascending"] = "descending",
     ) -> None:
         if scheduler.num_threads != num_threads:
@@ -129,7 +130,7 @@ class ThreadPoolServer:
             )
         self.sim = sim
         self.scheduler = scheduler
-        self.rate = float(rate)
+        self.rate: Rate = float(rate)
         self.num_threads = int(num_threads)
         self.workers: List[Worker] = [Worker(i) for i in range(num_threads)]
         self._dispatch_order = dispatch_order
@@ -140,7 +141,7 @@ class ThreadPoolServer:
             if dispatch_order == "descending"
             else list(self.workers)
         )
-        self._refresh_interval = refresh_interval
+        self._refresh_interval: Optional[Duration] = refresh_interval
         self._refresh_scheduled = False
         #: Attached :class:`repro.obs.Tracer` or ``None``; same
         #: single-attribute-check overhead contract as the schedulers.
@@ -148,7 +149,7 @@ class ThreadPoolServer:
         self._submit_listeners: List[RequestListener] = []
         self._dispatch_listeners: List[RequestListener] = []
         self._complete_listeners: List[RequestListener] = []
-        self._completed_cost: dict[str, float] = {}
+        self._completed_cost: dict[str, Cost] = {}
         self._completed_requests = 0
         self._crashed = False
 
@@ -197,11 +198,11 @@ class ThreadPoolServer:
     def completed_requests(self) -> int:
         return self._completed_requests
 
-    def completed_cost(self, tenant_id: str) -> float:
+    def completed_cost(self, tenant_id: str) -> Cost:
         """Total cost of completed requests for a tenant."""
         return self._completed_cost.get(tenant_id, 0.0)
 
-    def service_received(self, tenant_id: str) -> float:
+    def service_received(self, tenant_id: str) -> Cost:
         """Cumulative service (cost units) delivered to a tenant so far,
         counting partial progress of running requests -- the quantity the
         paper's service-rate and service-lag metrics are computed from.
@@ -233,7 +234,7 @@ class ThreadPoolServer:
     # These hooks are only ever called by repro.faults; a fault-free run
     # never reaches them, so the hot path is untouched (DESIGN.md §11).
 
-    def set_worker_speed(self, index: int, speed: float) -> None:
+    def set_worker_speed(self, index: int, speed: Scalar) -> None:
         """Change a worker's processing speed (1.0 healthy, 0.0 stalled).
 
         If the worker is mid-request, its usage so far is flushed to the

@@ -22,6 +22,7 @@ from typing import Callable, Iterable, Iterator, Optional, Protocol, Tuple
 
 from ..core.request import Request
 from ..errors import ConfigurationError
+from ..units import Cost, Duration, Scalar, SimTime, Weight
 from .clock import Simulation
 
 __all__ = [
@@ -47,9 +48,9 @@ class SubmitTarget(Protocol):
     def submit(self, request: Request) -> None: ...
 
 #: A sampler returns (api, cost) for the next request of a tenant.
-RequestSampler = Callable[[], Tuple[str, float]]
+RequestSampler = Callable[[], Tuple[str, Cost]]
 #: An inter-arrival sampler returns the gap to the next arrival (seconds).
-GapSampler = Callable[[], float]
+GapSampler = Callable[[], Duration]
 
 
 class Source:
@@ -67,7 +68,7 @@ class Source:
         """Completion callback; default: nothing (open-loop sources)."""
 
     def _submit(
-        self, tenant_id: str, api: str, cost: float, weight: float = 1.0
+        self, tenant_id: str, api: str, cost: Cost, weight: Weight = 1.0
     ) -> Request:
         request = Request(
             tenant_id=tenant_id, api=api, cost=cost, weight=weight, source=self
@@ -98,17 +99,17 @@ class TraceSource(Source):
     def __init__(
         self,
         server: SubmitTarget,
-        records: Iterable[Tuple[float, str, str, float]],
-        speed: float = 1.0,
-        weight: float = 1.0,
+        records: Iterable[Tuple[SimTime, str, str, Cost]],
+        speed: Scalar = 1.0,
+        weight: Weight = 1.0,
     ) -> None:
         super().__init__(server)
         if speed <= 0:
             raise ConfigurationError(f"speed must be positive, got {speed}")
-        self._records: Iterator[Tuple[float, str, str, float]] = iter(records)
-        self._speed = float(speed)
-        self._weight = float(weight)
-        self._last_time: Optional[float] = None
+        self._records: Iterator[Tuple[SimTime, str, str, Cost]] = iter(records)
+        self._speed: Scalar = float(speed)
+        self._weight: Weight = float(weight)
+        self._last_time: Optional[SimTime] = None
 
     def start(self) -> None:
         self._schedule_next()
@@ -125,7 +126,7 @@ class TraceSource(Source):
             time / self._speed, self._fire, tenant_id, api, cost
         )
 
-    def _fire(self, tenant_id: str, api: str, cost: float) -> None:
+    def _fire(self, tenant_id: str, api: str, cost: Cost) -> None:
         self._submit(tenant_id, api, cost, self._weight)
         self._schedule_next()
 
@@ -156,8 +157,8 @@ class BackloggedSource(Source):
         tenant_id: str,
         sampler: RequestSampler,
         window: int = 4,
-        weight: float = 1.0,
-        start_time: float = 0.0,
+        weight: Weight = 1.0,
+        start_time: SimTime = 0.0,
         limit: Optional[int] = None,
     ) -> None:
         super().__init__(server)
@@ -166,8 +167,8 @@ class BackloggedSource(Source):
         self.tenant_id = tenant_id
         self._sampler = sampler
         self._window = int(window)
-        self._weight = float(weight)
-        self._start_time = float(start_time)
+        self._weight: Weight = float(weight)
+        self._start_time: SimTime = float(start_time)
         self._limit = limit
 
     def start(self) -> None:
@@ -209,17 +210,17 @@ class ArrivalProcessSource(Source):
         tenant_id: str,
         gap_sampler: GapSampler,
         sampler: RequestSampler,
-        weight: float = 1.0,
-        start_time: float = 0.0,
-        until: Optional[float] = None,
+        weight: Weight = 1.0,
+        start_time: SimTime = 0.0,
+        until: Optional[SimTime] = None,
         limit: Optional[int] = None,
     ) -> None:
         super().__init__(server)
         self.tenant_id = tenant_id
         self._gap_sampler = gap_sampler
         self._sampler = sampler
-        self._weight = float(weight)
-        self._start_time = float(start_time)
+        self._weight: Weight = float(weight)
+        self._start_time: SimTime = float(start_time)
         self._until = until
         self._limit = limit
 

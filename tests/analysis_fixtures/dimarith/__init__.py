@@ -1,0 +1,1 @@
+"""RPR101 fixture package: cross-dimension additive arithmetic."""

@@ -1,0 +1,40 @@
+"""RPR101 fixture: additive arithmetic across incompatible dimensions.
+
+Every violation lives in its own function so the pinned line numbers
+stay independent; ``fine()`` exercises the legal units algebra the rule
+must *not* flag.
+"""
+
+from __future__ import annotations
+
+from repro.units import Cost, Duration, Rate, SimTime, VirtualTime, Weight
+
+
+def tag_plus_clock(tag: VirtualTime, now: SimTime) -> float:
+    return tag + now  # line 14: virtual axis + sim clock
+
+
+def cost_minus_elapsed(cost: Cost, elapsed: Duration) -> float:
+    return cost - elapsed  # line 18: work units - seconds
+
+
+def weight_mod_capacity(weight: Weight, capacity: Rate) -> float:
+    return weight % capacity  # line 22: share % rate
+
+
+def accumulate_badly(total: Cost, tag: VirtualTime) -> float:
+    total += tag  # line 26: augmented assignment conflicts too
+    return total
+
+
+def fine(
+    now: SimTime, delay: Duration, cost: Cost, rate: Rate, weight: Weight
+) -> VirtualTime:
+    deadline = now + delay  # point + length: a later timestamp
+    window = deadline - now  # point - point: a duration
+    service: Cost = rate * window  # rate * duration composes to cost
+    backlog = (service + cost) / rate  # cost / rate: a duration
+    drained = now + backlog  # and durations shift timestamps
+    if drained < now:
+        raise ValueError("unreachable")
+    return cost / weight  # Figure 7: the virtual-time conversion

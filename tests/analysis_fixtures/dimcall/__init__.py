@@ -1,0 +1,1 @@
+"""RPR103 fixture package: dimension lost at annotated boundaries."""

@@ -1,0 +1,51 @@
+"""RPR103 fixture: concrete dimension mismatches at annotated boundaries.
+
+The centerpiece is the epoch-anchoring bug this rule was built to
+catch: ``sim.at(interval, ...)`` hands a *duration* to the absolute
+``sim_time`` parameter, which schedules the first sample in the past
+for any component attached after t=0.
+"""
+
+from __future__ import annotations
+
+from repro.units import Duration, SimTime, VirtualTime
+
+
+class PeriodicProbe:
+    """Schedules itself with a bare interval -- the classic bug."""
+
+    def __init__(self, sim: object, interval: Duration) -> None:
+        self._sim = sim
+        self._interval: Duration = interval
+
+    def start(self) -> None:
+        self._sim.at(self._interval, self.start)  # line 22: duration -> at()
+
+    def reset(self, start_time: SimTime) -> None:
+        self._sim.at(start_time, self.start)  # exact match: fine
+
+    def restart(self) -> None:
+        self.reset(self._interval)  # line 28: duration -> own method summary
+
+    def start_anchored(self, epoch: SimTime) -> None:
+        self._sim.at(epoch + self._interval, self.start)  # anchored: fine
+        self._sim.after(self._interval, self.start)  # relative API: fine
+
+
+def tag_as_deadline(tag: VirtualTime) -> SimTime:
+    return tag  # line 36: virtual tag returned as a sim timestamp
+
+
+def tag_as_span(tag: VirtualTime) -> float:
+    span: Duration = tag  # line 40: virtual tag bound to a duration slot
+    return span
+
+
+class TagHolder:
+    """Writes a timestamp into a declared virtual-time attribute."""
+
+    def __init__(self, tag: VirtualTime) -> None:
+        self.start_tag: VirtualTime = tag
+
+    def clobber(self, now: SimTime) -> None:
+        self.start_tag = now  # line 51: sim clock into a virtual tag

@@ -1,0 +1,1 @@
+"""RPR102 fixture package: cross-dimension ordering comparisons."""

@@ -1,0 +1,37 @@
+"""RPR102 fixture: ordering comparisons across incompatible dimensions.
+
+A virtual-time tag never orders against a sim timestamp -- the axes are
+unrelated no matter how close the floats happen to be.
+"""
+
+from __future__ import annotations
+
+from repro.units import Cost, Duration, Rate, SimTime, VirtualTime, Weight
+
+
+def tag_before_clock(tag: VirtualTime, now: SimTime) -> bool:
+    return tag < now  # line 13: virtual axis vs sim clock
+
+
+def cost_exceeds_delay(cost: Cost, delay: Duration) -> bool:
+    return cost >= delay  # line 17: work units vs seconds
+
+
+def share_equals_rate(weight: Weight, capacity: Rate) -> bool:
+    return weight == capacity  # line 21: equality is ordered too
+
+
+def chained(now: SimTime, tag: VirtualTime, other: VirtualTime) -> bool:
+    return now < tag < other  # line 25: first link crosses axes
+
+
+def fine(
+    now: SimTime,
+    deadline: SimTime,
+    delay: Duration,
+    tag: VirtualTime,
+    other: VirtualTime,
+) -> bool:
+    if now + delay >= deadline:  # timestamp vs timestamp
+        return tag <= other  # tag vs tag on the virtual axis
+    return delay > 0.0  # dimensionless literals always compare

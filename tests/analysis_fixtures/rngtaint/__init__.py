@@ -1,0 +1,1 @@
+"""RPR110 fixture package: RNG taint reaching dispatch order."""

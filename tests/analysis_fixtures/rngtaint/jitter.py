@@ -1,0 +1,44 @@
+"""RPR110 fixture: seeded-RNG draws reaching ordering-sensitive
+scheduler state.
+
+The sink set is scoped to scheduler classes: ``ArrivalProcess`` below
+does the *same* writes outside that scope and must stay clean, because
+workload randomness (arrival gaps, request costs) is the legitimate use
+of the seeded streams.
+"""
+
+from __future__ import annotations
+
+from heapq import heappush
+
+from repro.core.base import Scheduler  # resolved by name only
+from repro.simulator.rng import make_rng
+
+
+class JitteredScheduler(Scheduler):
+    """Deliberately couples dispatch order to RNG stream consumption."""
+
+    def tie_break(self, base: float, seed: int) -> None:
+        rng = make_rng(seed)
+        jitter = rng.random()
+        self.start_tag = base + jitter  # line 24: tainted tag write
+
+    def push(self, base: float, seed: int) -> None:
+        rng = make_rng(seed)
+        heappush(self._heap, (base + rng.random(), self))  # line 28: heap key
+
+    def prefer(self, other_tag: float, seed: int) -> bool:
+        rng = make_rng(seed)
+        return other_tag < rng.random()  # line 32: comparison tie-break
+
+
+class ArrivalProcess:
+    """Workload randomness outside scheduler scope: all of this is fine."""
+
+    def next_gap(self, seed: int) -> float:
+        rng = make_rng(seed)
+        return rng.exponential(1.0)
+
+    def stamp(self, seed: int) -> None:
+        rng = make_rng(seed)
+        self.start_tag = rng.random()  # not a scheduler: no finding

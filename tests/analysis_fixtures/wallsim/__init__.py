@@ -1,0 +1,1 @@
+"""RPR111 fixture package: host-clock taint reaching simulated state."""

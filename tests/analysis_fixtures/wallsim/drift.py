@@ -1,0 +1,48 @@
+"""RPR111 fixture: host-clock-derived values flowing into sim state.
+
+RPR001 flags the *call sites* (those findings are filtered out by the
+tests); RPR111 follows the *value*, including through arithmetic that
+launders the wall_time dimension away -- the taint bit is sticky.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.units import SimTime
+
+
+def noop() -> None:
+    pass
+
+
+class DriftingClock:
+    """Syncs simulated time to the host clock (never do this)."""
+
+    def __init__(self) -> None:
+        self.now: SimTime = 0.0
+
+    def sync(self) -> None:
+        self.now = time.time()  # line 26: direct host read into sim state
+
+    def launder(self) -> None:
+        host = time.monotonic()
+        skew = host * 0.5 + 1.0
+        self.now = skew  # line 31: taint survives the arithmetic
+
+
+def schedule_from_host(sim: object) -> None:
+    deadline = time.perf_counter() + 1.0
+    sim.at(deadline, noop)  # line 36: host time into the event queue
+
+
+def host_timestamp() -> SimTime:
+    return time.time()  # line 40: host read returned as sim time
+
+
+def fine(sim: object, delay: float) -> None:
+    sim.at(sim.now + delay, noop)  # sim clock in, sim clock out
+    started = time.perf_counter()
+    elapsed = time.perf_counter() - started  # host deltas stay host-side
+    if elapsed < 0.0:
+        raise ValueError("unreachable")

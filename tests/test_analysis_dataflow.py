@@ -1,0 +1,218 @@
+"""Dataflow-analysis tests: the dimension lattice, the RPR1xx rules
+pinned against seeded fixture packages, and the clean-tree gate.
+
+The lattice tests exercise ``repro.analysis.dataflow.lattice`` directly;
+the rule tests run the full analyzer over one fixture package per rule
+(``tests/analysis_fixtures/{dimarith,dimcmp,dimcall,rngtaint,wallsim}``)
+and pin the exact ``(code, filename, line)`` triples, so a transfer
+function that drifts -- firing on the wrong node, or going silent --
+fails loudly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Tuple
+
+from repro.analysis import Analyzer
+from repro.analysis.dataflow.lattice import (
+    CONFLICT,
+    DIMENSIONLESS,
+    UNKNOWN,
+    AbstractValue,
+    additive_transfer,
+    binop_transfer,
+    compatible,
+    comparison_hazard,
+    join,
+    join_values,
+    multiplicative_transfer,
+)
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "analysis_fixtures")
+SRC_REPRO = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src", "repro"
+)
+
+DATAFLOW_CODES = {"RPR101", "RPR102", "RPR103", "RPR110", "RPR111"}
+
+
+def findings_in(
+    subdir: str, code: Optional[str] = None
+) -> List[Tuple[str, str, int]]:
+    """Sorted (code, filename, line) triples from one fixture package."""
+    result = Analyzer().run([os.path.join(FIXTURES, subdir)])
+    return sorted(
+        (f.code, os.path.basename(f.path), f.line)
+        for f in result.findings
+        if code is None or f.code == code
+    )
+
+
+# -- the lattice ---------------------------------------------------------------
+
+
+def test_join_identities_and_absorption() -> None:
+    assert join(UNKNOWN, "cost") == "cost"
+    assert join("cost", UNKNOWN) == "cost"
+    assert join("cost", "cost") == "cost"
+    assert join(CONFLICT, "cost") == CONFLICT
+    assert join("sim_time", CONFLICT) == CONFLICT
+    # A control-flow merge of two different concrete dimensions is loss
+    # of information, not evidence of a bug: Unknown, never Conflict.
+    assert join("sim_time", "virtual_time") == UNKNOWN
+    assert join(DIMENSIONLESS, "weight") == UNKNOWN
+
+
+def test_join_values_unions_taint() -> None:
+    a = AbstractValue("cost", rng=True)
+    b = AbstractValue("cost", wall=True)
+    merged = join_values(a, b)
+    assert merged.dim == "cost"
+    assert merged.rng and merged.wall
+    assert merged.tainted
+
+
+def test_additive_compatibility_groups() -> None:
+    assert compatible("sim_time", "duration")
+    assert compatible("wall_time", "duration")
+    assert compatible("virtual_time", "virtual_time")
+    # duration bridges both wall axes without making them compatible
+    # with *each other* -- the property RPR101/RPR102 rest on.
+    assert not compatible("sim_time", "wall_time")
+    assert not compatible("sim_time", "virtual_time")
+    assert not compatible("cost", "duration")
+    assert not compatible("weight", "rate")
+    # Unknown/dimensionless/conflict never block an operation.
+    assert compatible(UNKNOWN, "cost")
+    assert compatible(DIMENSIONLESS, "sim_time")
+    assert compatible(CONFLICT, "weight")
+
+
+def test_additive_transfer_point_and_length_algebra() -> None:
+    # point - point measures a length; point +/- length stays a point.
+    assert additive_transfer("-", "sim_time", "sim_time") == "duration"
+    assert additive_transfer("-", "wall_time", "wall_time") == "duration"
+    assert additive_transfer("+", "sim_time", "duration") == "sim_time"
+    assert additive_transfer("+", "duration", "sim_time") == "sim_time"
+    assert additive_transfer("-", "sim_time", "duration") == "sim_time"
+    # the virtual axis is closed under addition (tags + spans).
+    assert additive_transfer("+", "virtual_time", "virtual_time") == (
+        "virtual_time"
+    )
+    assert additive_transfer("+", "cost", "cost") == "cost"
+    # dimensionless is the additive identity (epsilons, literals).
+    assert additive_transfer("+", "cost", DIMENSIONLESS) == "cost"
+    assert additive_transfer("-", DIMENSIONLESS, "weight") == "weight"
+    # incompatible pairs conflict regardless of operator.
+    assert additive_transfer("+", "cost", "virtual_time") == CONFLICT
+
+
+def test_multiplicative_transfer_composition_tables() -> None:
+    # Figure 7's conversions, both operand orders.
+    assert multiplicative_transfer("*", "rate", "duration") == "cost"
+    assert multiplicative_transfer("*", "duration", "rate") == "cost"
+    assert multiplicative_transfer("*", "weight", "virtual_time") == "cost"
+    assert multiplicative_transfer("*", "virtual_time", "weight") == "cost"
+    assert multiplicative_transfer("/", "cost", "rate") == "duration"
+    assert multiplicative_transfer("/", "cost", "duration") == "rate"
+    assert multiplicative_transfer("/", "cost", "weight") == "virtual_time"
+    assert multiplicative_transfer("/", "cost", "virtual_time") == "weight"
+    # same-dimension quotient is a pure ratio.
+    assert multiplicative_transfer("/", "cost", "cost") == DIMENSIONLESS
+    # dimensionless is the multiplicative identity.
+    assert multiplicative_transfer("*", DIMENSIONLESS, "weight") == "weight"
+    assert multiplicative_transfer("/", "sim_time", DIMENSIONLESS) == (
+        "sim_time"
+    )
+    # exotic compositions are Unknown, never Conflict: multiplication
+    # is how new dimensions are built.
+    assert multiplicative_transfer("*", "cost", "cost") == UNKNOWN
+    assert multiplicative_transfer("/", DIMENSIONLESS, "rate") == UNKNOWN
+
+
+def test_binop_transfer_hazard_flag_and_floor_division() -> None:
+    dim, hazard = binop_transfer("+", "cost", "virtual_time")
+    assert dim == CONFLICT and hazard
+    dim, hazard = binop_transfer("+", "sim_time", "duration")
+    assert dim == "sim_time" and not hazard
+    # multiplication never produces the RPR101 hazard flag.
+    dim, hazard = binop_transfer("*", "cost", "virtual_time")
+    assert dim == UNKNOWN and not hazard
+    # floor division follows true division's composition.
+    dim, hazard = binop_transfer("//", "cost", "rate")
+    assert dim == "duration" and not hazard
+
+
+def test_comparison_hazard_mirrors_additive_compatibility() -> None:
+    assert comparison_hazard("virtual_time", "sim_time")
+    assert comparison_hazard("cost", "duration")
+    assert not comparison_hazard("sim_time", "duration")
+    assert not comparison_hazard(UNKNOWN, "virtual_time")
+
+
+# -- the RPR1xx rules, pinned against fixtures ---------------------------------
+
+
+def test_rpr101_dimension_arithmetic() -> None:
+    assert findings_in("dimarith") == [
+        ("RPR101", "mixing.py", 14),  # virtual_time + sim_time
+        ("RPR101", "mixing.py", 18),  # cost - duration
+        ("RPR101", "mixing.py", 22),  # weight % rate
+        ("RPR101", "mixing.py", 26),  # augmented assignment
+    ]
+
+
+def test_rpr102_dimension_comparison() -> None:
+    assert findings_in("dimcmp") == [
+        ("RPR102", "ordering.py", 13),  # virtual_time < sim_time
+        ("RPR102", "ordering.py", 17),  # cost >= duration
+        ("RPR102", "ordering.py", 21),  # weight == rate
+        ("RPR102", "ordering.py", 25),  # chained comparison, first link
+    ]
+
+
+def test_rpr103_dimension_boundary() -> None:
+    # The 22/28 pair is the epoch-anchoring bug class fixed in
+    # MetricsCollector / FleetMetricsCollector / HealthMonitor: a bare
+    # interval (duration) handed to an absolute-time parameter.
+    assert findings_in("dimcall") == [
+        ("RPR103", "boundary.py", 22),  # duration -> at() registry entry
+        ("RPR103", "boundary.py", 28),  # duration -> own method summary
+        ("RPR103", "boundary.py", 36),  # virtual_time returned as SimTime
+        ("RPR103", "boundary.py", 40),  # virtual_time bound to Duration
+        ("RPR103", "boundary.py", 51),  # sim_time into a declared tag
+    ]
+
+
+def test_rpr110_rng_taint_scoped_to_schedulers() -> None:
+    # ArrivalProcess in the same package performs identical writes
+    # outside scheduler scope and must contribute nothing.
+    assert findings_in("rngtaint") == [
+        ("RPR110", "jitter.py", 24),  # tainted ordering-sensitive write
+        ("RPR110", "jitter.py", 28),  # tainted heap key
+        ("RPR110", "jitter.py", 32),  # tainted scheduler comparison
+    ]
+
+
+def test_rpr111_wall_clock_taint_follows_the_value() -> None:
+    # RPR001 flags the call sites; RPR111 follows the value -- including
+    # through the arithmetic laundering in `launder()`.
+    assert findings_in("wallsim", code="RPR111") == [
+        ("RPR111", "drift.py", 26),  # direct host read into sim state
+        ("RPR111", "drift.py", 31),  # taint survives arithmetic
+        ("RPR111", "drift.py", 36),  # host time into the event queue
+        ("RPR111", "drift.py", 40),  # host read returned as SimTime
+    ]
+
+
+# -- the clean-tree gate -------------------------------------------------------
+
+
+def test_src_repro_is_clean_under_dataflow_rules() -> None:
+    """`python -m repro.analysis --select RPR101,...,RPR111 src/repro`
+    exits 0: the annotated tree carries no dimension or taint hazards
+    (the acceptance gate for the RPR1xx rollout)."""
+    result = Analyzer(select=DATAFLOW_CODES).run([SRC_REPRO])
+    assert result.files_analyzed > 50
+    assert result.findings == []
